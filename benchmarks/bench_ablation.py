@@ -1,0 +1,29 @@
+"""Ablation -- contribution of the design choices called out in DESIGN.md.
+
+Not a table of the paper: this bench quantifies (a) the edit-distance
+discrimination stage and (b) the 10x negative-subsample ratio, the two
+design decisions Sect. IV-B motivates qualitatively.
+"""
+
+from repro.eval.experiments import run_ablation
+from repro.eval.reporting import format_table
+
+
+def test_ablation_pipeline_configurations(benchmark, bench_dataset):
+    result = benchmark.pedantic(
+        run_ablation,
+        kwargs={"dataset": bench_dataset, "n_splits": 3, "random_state": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("Ablation: overall identification accuracy per configuration")
+    rows = [(name, f"{accuracy:.3f}") for name, accuracy in result.accuracies.items()]
+    print(format_table(["configuration", "overall accuracy"], rows))
+
+    full = result.accuracies["full pipeline"]
+    without_discrimination = result.accuracies["without edit-distance discrimination"]
+    assert 0.0 <= without_discrimination <= 1.0
+    # The discrimination stage must not hurt overall accuracy materially.
+    assert full >= without_discrimination - 0.05

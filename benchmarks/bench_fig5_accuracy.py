@@ -1,0 +1,31 @@
+"""Fig. 5 -- ratio of correct identification for the 27 device-types.
+
+Paper result: accuracy >= 0.95 for 17 device-types (most of them 1.0),
+around 0.5 for the 10 mutually confusable devices, global accuracy 0.815.
+"""
+
+from repro.devices.catalog import TABLE_III_DEVICES
+from repro.eval.reporting import format_fig5
+
+
+def test_fig5_identification_accuracy(benchmark, bench_dataset, evaluation_cache):
+    evaluation = benchmark.pedantic(
+        evaluation_cache.get, args=(bench_dataset,), rounds=1, iterations=1
+    )
+
+    per_type = evaluation.per_type_accuracy
+    print()
+    print("Fig. 5: ratio of correct identification per device-type")
+    print(format_fig5(per_type, evaluation.overall_accuracy))
+    print(
+        f"fingerprints accepted by >1 classifier (needed discrimination): "
+        f"{evaluation.discrimination_fraction:.0%}"
+    )
+
+    confusable = [per_type[name] for name in TABLE_III_DEVICES]
+    distinctive = [per_type[name] for name in per_type if name not in TABLE_III_DEVICES]
+
+    # Shape checks mirroring the paper's headline claims.
+    assert evaluation.overall_accuracy > 0.6
+    assert sum(accuracy >= 0.8 for accuracy in distinctive) >= len(distinctive) * 0.7
+    assert sum(distinctive) / len(distinctive) > sum(confusable) / len(confusable)

@@ -1,0 +1,31 @@
+"""Fig. 6a -- latency against the number of concurrent flows.
+
+Paper result: between 20 and 150 concurrent flows the latency of both
+monitored device pairs grows only marginally, and the filtering and
+no-filtering curves stay on top of each other.
+"""
+
+from repro.eval.experiments import run_latency_vs_flows
+from repro.eval.reporting import format_series
+
+
+def test_fig6a_latency_vs_concurrent_flows(benchmark):
+    series = benchmark.pedantic(
+        run_latency_vs_flows,
+        kwargs={"flow_counts": tuple(range(20, 160, 10)), "iterations": 15, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("Fig. 6a: latency (ms) vs number of concurrent flows")
+    print(format_series(series.x_label, series.x_values, series.series, unit="ms"))
+
+    with_filtering = series.series_of("D1-D2 w/ filtering")
+    without_filtering = series.series_of("D1-D2 w/o filtering")
+
+    # The increase over the whole sweep stays small (insignificant for UX).
+    assert max(with_filtering) - min(with_filtering) < 8.0
+    # Filtering and no-filtering curves stay close at every point.
+    for filtered, plain in zip(with_filtering, without_filtering):
+        assert abs(filtered - plain) < 6.0

@@ -1,0 +1,36 @@
+"""Fig. 6c -- Security Gateway memory consumption against enforcement rules.
+
+Paper result: memory grows roughly linearly with the number of cached
+enforcement rules when filtering is enabled (reaching on the order of
+100 MB at 20 000 rules) while the no-filtering memory stays flat.
+"""
+
+import numpy as np
+
+from repro.eval.experiments import run_memory_vs_rules
+from repro.eval.reporting import format_series
+
+
+def test_fig6c_memory_vs_enforcement_rules(benchmark):
+    rule_counts = (0, 2500, 5000, 7500, 10000, 12500, 15000, 17500, 20000)
+    series = benchmark.pedantic(
+        run_memory_vs_rules,
+        kwargs={"rule_counts": rule_counts, "samples_per_point": 5, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("Fig. 6c: memory consumption (MB) vs number of enforcement rules")
+    print(format_series(series.x_label, series.x_values, series.series, unit="MB"))
+
+    with_filtering = np.array(series.series_of("With Filtering"))
+    without_filtering = np.array(series.series_of("Without Filtering"))
+
+    # Linear-ish growth with filtering; flat without.
+    assert with_filtering[-1] - with_filtering[0] > 25.0
+    assert with_filtering[-1] < 150.0
+    assert abs(without_filtering[-1] - without_filtering[0]) < 10.0
+    # Monotone non-decreasing trend (within measurement noise).
+    increments = np.diff(with_filtering)
+    assert (increments > -3.0).all()

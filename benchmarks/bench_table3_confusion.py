@@ -1,0 +1,39 @@
+"""Table III -- confusion matrix of the 10 low-accuracy (confusable) devices.
+
+Paper result: misidentifications stay within vendor families -- the four
+D-Link smart-home devices are confused among themselves, the two TP-Link
+plugs with each other, the two Edimax plugs with each other and the two
+Smarter appliances with each other; no confusion crosses family boundaries.
+"""
+
+import numpy as np
+
+from repro.devices.catalog import CONFUSABLE_FAMILIES, TABLE_III_DEVICES
+from repro.eval.experiments import table_iii_confusion
+from repro.eval.reporting import format_confusion_matrix
+
+
+def test_table3_confusion_matrix(benchmark, bench_dataset, evaluation_cache):
+    evaluation = evaluation_cache.get(bench_dataset)
+    matrix, labels = benchmark.pedantic(
+        table_iii_confusion, args=(evaluation,), rounds=1, iterations=1
+    )
+
+    print()
+    print("Table III: confusion matrix of the 10 confusable devices (actual \\ predicted)")
+    print(format_confusion_matrix(matrix, labels))
+
+    index_of = {name: position for position, name in enumerate(labels)}
+    total = matrix.sum()
+    in_family = 0
+    for family_members in CONFUSABLE_FAMILIES.values():
+        rows = [index_of[name] for name in family_members]
+        in_family += matrix[np.ix_(rows, rows)].sum()
+    cross_family_fraction = 1.0 - in_family / total
+
+    print(f"identifications landing inside the correct vendor family: {in_family / total:.0%}")
+
+    assert list(labels) == list(TABLE_III_DEVICES)
+    assert total > 0
+    # The paper's key observation: confusion is almost entirely intra-family.
+    assert cross_family_fraction < 0.25

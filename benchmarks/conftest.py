@@ -1,0 +1,65 @@
+"""Shared fixtures and configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section and prints the corresponding rows/series.  The identification
+benchmarks are the expensive ones; their scale is controlled through
+environment variables so that a full paper-scale run can be requested
+explicitly:
+
+* ``REPRO_BENCH_RUNS``   -- setup runs per device-type (paper: 20, default: 12)
+* ``REPRO_BENCH_FOLDS``  -- cross-validation folds      (paper: 10, default: 5)
+* ``REPRO_BENCH_REPEATS``-- cross-validation repetitions (paper: 10, default: 1)
+
+Example paper-scale invocation::
+
+    REPRO_BENCH_RUNS=20 REPRO_BENCH_FOLDS=10 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets.builder import generate_fingerprint_dataset
+from repro.eval.experiments import evaluate_identification
+from repro.identification.identifier import DeviceTypeIdentifier
+
+BENCH_RUNS_PER_TYPE = int(os.environ.get("REPRO_BENCH_RUNS", "12"))
+BENCH_FOLDS = int(os.environ.get("REPRO_BENCH_FOLDS", "5"))
+BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "1"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """The synthetic evaluation dataset (27 device-types, Table II)."""
+    return generate_fingerprint_dataset(runs_per_type=BENCH_RUNS_PER_TYPE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_identifier(bench_dataset):
+    """An identifier trained on the full benchmark dataset (for Table IV)."""
+    return DeviceTypeIdentifier.train(bench_dataset.to_registry(), random_state=BENCH_SEED)
+
+
+class _EvaluationCache:
+    """Caches the cross-validated evaluation so Fig. 5 and Table III share it."""
+
+    def __init__(self) -> None:
+        self.evaluation = None
+
+    def get(self, dataset):
+        if self.evaluation is None:
+            self.evaluation = evaluate_identification(
+                dataset,
+                n_splits=BENCH_FOLDS,
+                repetitions=BENCH_REPEATS,
+                random_state=BENCH_SEED,
+            )
+        return self.evaluation
+
+
+@pytest.fixture(scope="session")
+def evaluation_cache():
+    return _EvaluationCache()

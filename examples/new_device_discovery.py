@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""New-device-type discovery and incremental learning.
+
+IoT SENTINEL's "one classifier per device-type" design means a fingerprint
+can be rejected by every classifier, signalling a previously unseen
+device-type, and a new type can be added later without retraining the
+existing models.  This example demonstrates both properties and also shows
+how a firmware update changes a device's fingerprint enough to be treated
+as a distinct device-type (Sect. VIII-B of the paper).
+
+Run with ``python examples/new_device_discovery.py``.
+"""
+
+from repro.datasets import generate_fingerprint_dataset
+from repro.devices import DEVICE_CATALOG, SetupTrafficSimulator
+from repro.devices.profiles import SetupStep, StepKind
+from repro.features import Fingerprint
+from repro.identification import DeviceTypeIdentifier
+
+KNOWN_TYPES = ["Aria", "HueBridge", "WeMoSwitch", "EdimaxPlug1101W", "D-LinkCam"]
+
+
+def identify_and_report(identifier, trace, label):
+    fingerprint = Fingerprint.from_packets(trace.packets)
+    result = identifier.identify(fingerprint)
+    flag = " (new device-type!)" if result.is_new_device_type else ""
+    print(f"   {label:38s} -> {result.device_type}{flag}")
+    return result
+
+
+def main() -> None:
+    print("== Training on the initially known device-types ==")
+    dataset = generate_fingerprint_dataset(runs_per_type=10, device_names=KNOWN_TYPES, seed=7)
+    identifier = DeviceTypeIdentifier.train(dataset.to_registry(), random_state=7)
+    print(f"   known: {', '.join(identifier.known_device_types)}")
+
+    simulator = SetupTrafficSimulator(seed=123)
+
+    print("== A known device joins ==")
+    identify_and_report(identifier, simulator.simulate(DEVICE_CATALOG["WeMoSwitch"]), "WeMo Switch")
+
+    print("== A device of an unknown type joins ==")
+    identify_and_report(
+        identifier, simulator.simulate(DEVICE_CATALOG["HomeMaticPlug"]), "Homematic plug (never seen)"
+    )
+
+    print("== The IoTSSP adds the new type without touching existing classifiers ==")
+    training = [
+        Fingerprint.from_packets(trace.packets, device_type="HomeMaticPlug")
+        for trace in simulator.simulate_many(DEVICE_CATALOG["HomeMaticPlug"], 10)
+    ]
+    identifier.add_device_type("HomeMaticPlug", training)
+    print(f"   known types now: {len(identifier.known_device_types)}")
+    identify_and_report(
+        identifier, simulator.simulate(DEVICE_CATALOG["HomeMaticPlug"]), "Homematic plug (after learning)"
+    )
+
+    print("== A firmware update changes the fingerprint ==")
+    updated_profile = DEVICE_CATALOG["WeMoSwitch"].with_firmware(
+        "2.00.10966",
+        extra_steps=(
+            SetupStep(StepKind.DNS_QUERY, target="firmware.xbcs.net"),
+            SetupStep(StepKind.HTTPS_CONNECT, target="firmware.xbcs.net", payload_size=420, size_jitter=24),
+        ),
+    )
+    result = identify_and_report(
+        identifier, simulator.simulate(updated_profile), "WeMo Switch with new firmware"
+    )
+    if not result.is_new_device_type:
+        print("   (still close enough to the old firmware to match; larger behavioural")
+        print("    changes would push it into a new device-type, cf. Sect. VIII-B)")
+
+    print("== Registering the new firmware as its own device-type ==")
+    updated_training = [
+        Fingerprint.from_packets(trace.packets, device_type="WeMoSwitch-fw2")
+        for trace in simulator.simulate_many(updated_profile, 10)
+    ]
+    identifier.add_device_type("WeMoSwitch-fw2", updated_training)
+    identify_and_report(
+        identifier, simulator.simulate(updated_profile), "WeMo Switch with new firmware"
+    )
+    identify_and_report(
+        identifier, simulator.simulate(DEVICE_CATALOG["WeMoSwitch"]), "WeMo Switch with old firmware"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the environment has no `wheel` package, so editable
+installs fall back to `python setup.py develop`, which this file enables."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Reproduction of IoT SENTINEL (Miettinen et al., ICDCS 2017).
+
+The package is organised in layers that mirror the paper's system design:
+
+* :mod:`repro.net` -- packet dissection/serialisation and pcap I/O
+  (stand-in for scapy, which is not available offline).
+* :mod:`repro.features` -- the 23 per-packet features of Table I and the
+  variable-length / fixed-length device fingerprints ``F`` and ``F'``.
+* :mod:`repro.ml` -- CART decision trees, Random Forests, cross-validation
+  and metrics (stand-in for scikit-learn).
+* :mod:`repro.distance` -- Damerau-Levenshtein edit distance over packet
+  sequences used by the discrimination stage.
+* :mod:`repro.identification` -- the two-stage device-type identification
+  pipeline (one binary classifier per device-type + edit-distance
+  discrimination).
+* :mod:`repro.devices` -- behaviour profiles and setup-traffic simulation
+  for the 27 device-types of Table II.
+* :mod:`repro.datasets` -- fingerprint dataset construction and persistence.
+* :mod:`repro.sdn`, :mod:`repro.gateway`, :mod:`repro.security_service` --
+  the enforcement half of the paper: OpenFlow-like switch and controller,
+  Security Gateway with enforcement-rule cache and isolation overlays, and
+  the IoT Security Service with its vulnerability repository.
+* :mod:`repro.simulation` -- simulated clock, latency and resource models
+  used by the enforcement evaluation.
+* :mod:`repro.eval` -- experiment runners that regenerate every table and
+  figure of the paper's evaluation section.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,12 @@
+"""Fingerprint dataset construction and persistence."""
+
+from repro.datasets.builder import DatasetBuilder, FingerprintDataset, generate_fingerprint_dataset
+from repro.datasets.storage import load_fingerprints, save_fingerprints
+
+__all__ = [
+    "DatasetBuilder",
+    "FingerprintDataset",
+    "generate_fingerprint_dataset",
+    "save_fingerprints",
+    "load_fingerprints",
+]

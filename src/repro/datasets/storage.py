@@ -1,0 +1,67 @@
+"""JSON persistence for fingerprints and fingerprint datasets."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.builder import FingerprintDataset
+from repro.exceptions import DatasetError
+from repro.features.fingerprint import Fingerprint
+
+FORMAT_VERSION = 1
+
+
+def _fingerprint_to_dict(fingerprint: Fingerprint) -> dict:
+    return {
+        "device_type": fingerprint.device_type,
+        "device_mac": fingerprint.device_mac,
+        "vectors": fingerprint.vectors.tolist(),
+        "metadata": fingerprint.metadata,
+    }
+
+
+def _fingerprint_from_dict(payload: dict) -> Fingerprint:
+    try:
+        return Fingerprint(
+            vectors=np.asarray(payload["vectors"], dtype=np.int64),
+            device_type=payload.get("device_type"),
+            device_mac=payload.get("device_mac"),
+            metadata=payload.get("metadata", {}),
+        )
+    except KeyError as exc:
+        raise DatasetError(f"fingerprint record is missing field {exc}") from exc
+
+
+def save_fingerprints(path: Union[str, Path], dataset: FingerprintDataset) -> None:
+    """Serialise a fingerprint dataset to a JSON file."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "metadata": dataset.metadata,
+        "fingerprints": [_fingerprint_to_dict(fingerprint) for fingerprint in dataset.fingerprints],
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_fingerprints(path: Union[str, Path]) -> FingerprintDataset:
+    """Load a fingerprint dataset previously written by :func:`save_fingerprints`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file does not exist: {path}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"dataset file is not valid JSON: {path}") from exc
+    if document.get("format_version") != FORMAT_VERSION:
+        raise DatasetError(
+            f"unsupported dataset format version: {document.get('format_version')!r}"
+        )
+    dataset = FingerprintDataset(
+        fingerprints=[_fingerprint_from_dict(record) for record in document.get("fingerprints", [])],
+        metadata=document.get("metadata", {}),
+    )
+    dataset.validate()
+    return dataset

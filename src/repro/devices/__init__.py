@@ -1,0 +1,38 @@
+"""Device behaviour profiles and setup-traffic simulation.
+
+The paper's evaluation uses packet captures of 27 real consumer IoT devices
+recorded while each device went through its vendor-specific setup procedure
+(Table II).  Those captures are not distributable here, so this subpackage
+provides the closest synthetic equivalent: a behaviour-profile model of each
+device-type's setup sequence and a traffic generator that renders profiles
+into packet traces with realistic protocol mixes, orderings, packet sizes
+and run-to-run variation.  Device families the paper found confusable
+(similar D-Link sensors, TP-Link plugs, Edimax plugs, Smarter appliances)
+share near-identical profiles so that the confusion structure of Table III
+can emerge from the pipeline rather than being scripted.
+"""
+
+from repro.devices.catalog import (
+    CONFUSABLE_FAMILIES,
+    DEVICE_CATALOG,
+    DEVICE_NAMES,
+    build_catalog,
+    profile_of,
+)
+from repro.devices.profiles import Connectivity, DeviceProfile, SetupStep, StepKind
+from repro.devices.simulator import LabEnvironment, SetupTrafficSimulator, SetupTrace
+
+__all__ = [
+    "Connectivity",
+    "DeviceProfile",
+    "SetupStep",
+    "StepKind",
+    "DEVICE_CATALOG",
+    "DEVICE_NAMES",
+    "CONFUSABLE_FAMILIES",
+    "build_catalog",
+    "profile_of",
+    "LabEnvironment",
+    "SetupTrafficSimulator",
+    "SetupTrace",
+]

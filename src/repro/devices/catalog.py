@@ -1,0 +1,660 @@
+"""The catalog of the 27 device-types evaluated in the paper (Table II).
+
+Every profile is a synthetic reconstruction of the corresponding device's
+setup behaviour, built from the protocol mixes that class of device is known
+to use (WPA handshake, address acquisition, discovery announcements, cloud
+registration, time sync, ...).  Devices the paper reports as mutually
+confusable are modelled as *families* sharing a common step template with
+only small, overlapping differences, so that the identification pipeline
+reproduces the confusion structure of Table III without it being scripted.
+"""
+
+from __future__ import annotations
+
+from repro.devices.profiles import Connectivity, DeviceProfile, SetupStep, StepKind
+
+# --------------------------------------------------------------------------- #
+# Step template helpers.
+# --------------------------------------------------------------------------- #
+
+
+def _wifi_join(hostname_padding: int = 0, jitter: int = 4) -> tuple[SetupStep, ...]:
+    """WPA2 handshake, address probing and DHCP of a WiFi device."""
+    return (
+        SetupStep(StepKind.EAPOL_HANDSHAKE),
+        SetupStep(StepKind.ARP_PROBE, repeat=2),
+        SetupStep(
+            StepKind.DHCP_DISCOVER, payload_size=hostname_padding, size_jitter=jitter
+        ),
+        SetupStep(StepKind.DHCP_REQUEST),
+        SetupStep(StepKind.ARP_ANNOUNCE),
+        SetupStep(StepKind.ARP_GATEWAY),
+    )
+
+
+def _ethernet_join(hostname_padding: int = 0, jitter: int = 4) -> tuple[SetupStep, ...]:
+    """Address acquisition of a wired device (no WPA handshake)."""
+    return (
+        SetupStep(StepKind.ARP_PROBE, repeat=2),
+        SetupStep(
+            StepKind.DHCP_DISCOVER, payload_size=hostname_padding, size_jitter=jitter
+        ),
+        SetupStep(StepKind.DHCP_REQUEST),
+        SetupStep(StepKind.ARP_ANNOUNCE),
+        SetupStep(StepKind.ARP_GATEWAY),
+    )
+
+
+def _ipv6_join() -> tuple[SetupStep, ...]:
+    """IPv6 neighbour discovery and multicast membership."""
+    return (
+        SetupStep(StepKind.ICMPV6_ROUTER_SOLICIT, probability=0.9),
+        SetupStep(StepKind.ICMPV6_NEIGHBOR_SOLICIT),
+        SetupStep(StepKind.MLD_REPORT, probability=0.9),
+    )
+
+
+def _cloud_https(host: str, size: int, jitter: int = 24, repeat: int = 1) -> tuple[SetupStep, ...]:
+    """DNS lookup followed by a TLS connection to the vendor cloud."""
+    return (
+        SetupStep(StepKind.DNS_QUERY, target=host),
+        SetupStep(StepKind.HTTPS_CONNECT, target=host, payload_size=size, size_jitter=jitter, repeat=repeat),
+    )
+
+
+def _cloud_http(host: str, size: int, jitter: int = 16) -> tuple[SetupStep, ...]:
+    """DNS lookup followed by a plain-HTTP exchange with the vendor cloud."""
+    return (
+        SetupStep(StepKind.DNS_QUERY, target=host),
+        SetupStep(StepKind.HTTP_GET, target=host, payload_size=size, size_jitter=jitter),
+    )
+
+
+def _ntp(pool: str = "pool.ntp.org") -> tuple[SetupStep, ...]:
+    return (
+        SetupStep(StepKind.DNS_QUERY, target=pool),
+        SetupStep(StepKind.NTP_SYNC, target=pool, repeat=1),
+    )
+
+
+def _upnp(port: int = 8080) -> tuple[SetupStep, ...]:
+    """UPnP presence: IGMP join plus SSDP announcements."""
+    return (
+        SetupStep(StepKind.IGMP_JOIN),
+        SetupStep(StepKind.SSDP_NOTIFY, port=port, repeat=2),
+        SetupStep(StepKind.SSDP_MSEARCH, probability=0.7),
+    )
+
+
+def _mdns(service: str) -> tuple[SetupStep, ...]:
+    return (
+        SetupStep(StepKind.MDNS_QUERY, target="_services._dns-sd._udp.local", probability=0.8),
+        SetupStep(StepKind.MDNS_ANNOUNCE, target=service, repeat=2),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Confusable family templates (Table III).
+# --------------------------------------------------------------------------- #
+
+
+def _dlink_smart_home_steps(probe_size: int, extra_notify: float) -> tuple[SetupStep, ...]:
+    """Shared template of the D-Link DCH-S1xx/S2xx/W215 smart-home family.
+
+    The four devices (motion sensor, water sensor, siren, smart plug) run
+    identical firmware builds on identical hardware modules; their setup
+    sequences differ only marginally, which is exactly why the paper finds
+    them mutually confusable.  ``probe_size`` shifts one cloud payload by a
+    few bytes (within the jitter overlap) and ``extra_notify`` slightly
+    changes how often an extra SSDP burst occurs.
+    """
+    return (
+        _wifi_join(hostname_padding=12, jitter=6)
+        + _ipv6_join()
+        + _upnp(port=49152)
+        + (
+            SetupStep(StepKind.MDNS_ANNOUNCE, target="_dcp._tcp.local", repeat=2),
+            SetupStep(StepKind.SSDP_NOTIFY, port=49152, probability=extra_notify),
+        )
+        + _ntp("ntp1.dlink.com")
+        + _cloud_https("mydlink.com", size=probe_size, jitter=30)
+        + (
+            SetupStep(StepKind.HTTP_GET, target="wrpd.dlink.com", payload_size=90, size_jitter=25),
+        )
+    )
+
+
+def _tplink_plug_steps(command_size: int, energy_probe: float) -> tuple[SetupStep, ...]:
+    """Shared template of the TP-Link HS100/HS110 smart plugs."""
+    return (
+        _wifi_join(hostname_padding=8, jitter=5)
+        + (
+            SetupStep(StepKind.UDP_SEND, target="", port=9999, payload_size=command_size, size_jitter=20, repeat=2),
+        )
+        + _ntp("time.tp-link.com")
+        + _cloud_https("devs.tplinkcloud.com", size=200, jitter=28)
+        + (
+            SetupStep(StepKind.UDP_SEND, target="devs.tplinkcloud.com", port=40500, payload_size=120, size_jitter=18, probability=energy_probe),
+        )
+    )
+
+
+def _edimax_plug_steps(report_size: int) -> tuple[SetupStep, ...]:
+    """Shared template of the Edimax SP-1101W/SP-2101W smart plugs."""
+    return (
+        _wifi_join(hostname_padding=6, jitter=5)
+        + _upnp(port=10000)
+        + _cloud_http("www.myedimax.com", size=report_size, jitter=26)
+        + (
+            SetupStep(StepKind.TCP_CONNECT, target="relay.myedimax.com", port=8766, payload_size=64, size_jitter=16),
+        )
+        + _ntp("time.edimax.com")
+    )
+
+
+def _smarter_appliance_steps(status_size: int) -> tuple[SetupStep, ...]:
+    """Shared template of the Smarter coffee machine / kettle."""
+    return (
+        _wifi_join(hostname_padding=10, jitter=5)
+        + (
+            SetupStep(StepKind.UDP_SEND, target="", port=2081, payload_size=20, size_jitter=6, repeat=2),
+            SetupStep(StepKind.TCP_CONNECT, target="", port=2081, payload_size=status_size, size_jitter=12),
+        )
+        + _mdns("_smarter._tcp.local")
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The 27 device profiles.
+# --------------------------------------------------------------------------- #
+
+
+def build_catalog() -> dict[str, DeviceProfile]:
+    """Build the full catalog keyed by device-type name (Fig. 5 identifiers)."""
+    profiles: list[DeviceProfile] = []
+
+    profiles.append(
+        DeviceProfile(
+            name="Aria",
+            vendor="Fitbit",
+            model="Aria WiFi-enabled scale",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="20:ff:0e",
+            hostname="aria-scale",
+            steps=_wifi_join(hostname_padding=4)
+            + _ntp("fitbit.pool.ntp.org")
+            + _cloud_https("api.fitbit.com", size=260, jitter=20)
+            + (SetupStep(StepKind.HTTPS_CONNECT, target="client.fitbit.com", payload_size=150, size_jitter=18),),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="HomeMaticPlug",
+            vendor="eQ-3",
+            model="Homematic pluggable switch HMIP-PS",
+            connectivity=(Connectivity.OTHER,),
+            mac_oui="00:1a:22",
+            hostname="homematic-ccu",
+            steps=_ethernet_join(hostname_padding=2)
+            + (
+                SetupStep(StepKind.UDP_SEND, target="", port=43439, payload_size=52, size_jitter=6, repeat=2),
+                SetupStep(StepKind.LLC_FRAME, payload_size=35, probability=0.8),
+            )
+            + _cloud_http("update.homematic.com", size=120, jitter=14)
+            + _ntp("0.de.pool.ntp.org"),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="Withings",
+            vendor="Withings",
+            model="Wireless Scale WS-30",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="00:24:e4",
+            hostname="withings-ws30",
+            steps=_wifi_join(hostname_padding=6)
+            + _cloud_http("scalews.withings.net", size=300, jitter=30)
+            + (
+                SetupStep(StepKind.DNS_QUERY, target="fw.withings.net"),
+                SetupStep(StepKind.HTTP_POST, target="fw.withings.net", payload_size=420, size_jitter=36),
+            ),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="MAXGateway",
+            vendor="eQ-3",
+            model="MAX! Cube LAN Gateway",
+            connectivity=(Connectivity.ETHERNET, Connectivity.OTHER),
+            mac_oui="00:1a:22",
+            hostname="max-cube-lan",
+            steps=_ethernet_join(hostname_padding=0)
+            + (
+                SetupStep(StepKind.UDP_SEND, target="", port=23272, payload_size=26, size_jitter=2, repeat=2),
+                SetupStep(StepKind.TCP_CONNECT, target="max.eq-3.de", port=62910, payload_size=80, size_jitter=10),
+            )
+            + _ntp("ntp.homematic.com"),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="HueBridge",
+            vendor="Philips",
+            model="Hue Bridge 3241312018",
+            connectivity=(Connectivity.ZIGBEE, Connectivity.ETHERNET),
+            mac_oui="00:17:88",
+            hostname="philips-hue",
+            steps=_ethernet_join(hostname_padding=4)
+            + _ipv6_join()
+            + _upnp(port=80)
+            + _mdns("_hue._tcp.local")
+            + _cloud_https("ws.meethue.com", size=340, jitter=26)
+            + _ntp("pool.ntp.org"),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="HueSwitch",
+            vendor="Philips",
+            model="Hue Light Switch PTM 215Z",
+            connectivity=(Connectivity.ZIGBEE,),
+            mac_oui="00:17:88",
+            hostname="hue-dimmer",
+            # The switch itself is ZigBee-only: what the gateway observes is the
+            # indirect traffic the bridge emits on its behalf during pairing.
+            steps=(
+                SetupStep(StepKind.ARP_GATEWAY),
+                SetupStep(StepKind.MDNS_ANNOUNCE, target="_hue._tcp.local", repeat=1),
+                SetupStep(StepKind.HTTPS_CONNECT, target="ws.meethue.com", payload_size=120, size_jitter=14),
+                SetupStep(StepKind.HTTP_GET, target="www.ecdinterface.philips.com", payload_size=70, size_jitter=10),
+                SetupStep(StepKind.UDP_SEND, target="", port=5678, payload_size=30, size_jitter=4),
+            ),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="EdnetGateway",
+            vendor="Ednet.living",
+            model="Starter kit power Gateway",
+            connectivity=(Connectivity.WIFI, Connectivity.OTHER),
+            mac_oui="ac:cf:23",
+            hostname="ednet-living",
+            steps=_wifi_join(hostname_padding=2)
+            + (
+                SetupStep(StepKind.UDP_SEND, target="", port=25123, payload_size=40, size_jitter=6, repeat=3),
+                SetupStep(StepKind.DNS_QUERY, target="cloud.ednet-living.com"),
+                SetupStep(StepKind.TCP_CONNECT, target="cloud.ednet-living.com", port=1883, payload_size=90, size_jitter=12),
+            ),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="EdnetCam",
+            vendor="Ednet",
+            model="Wireless indoor IP camera Cube",
+            connectivity=(Connectivity.WIFI, Connectivity.ETHERNET),
+            mac_oui="ac:cf:23",
+            hostname="ipcam-cube",
+            steps=_wifi_join(hostname_padding=8)
+            + _upnp(port=80)
+            + _mdns("_ipcam._tcp.local")
+            + _cloud_http("www.ednetcloud.com", size=180, jitter=20)
+            + (
+                SetupStep(StepKind.UDP_SEND, target="stun.ednetcloud.com", port=3478, payload_size=60, size_jitter=8, repeat=2),
+            )
+            + _ntp("time.windows.com"),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="EdimaxCam",
+            vendor="Edimax",
+            model="IC-3115W HD WiFi Network Camera",
+            connectivity=(Connectivity.WIFI, Connectivity.ETHERNET),
+            mac_oui="74:da:38",
+            hostname="edimax-ic3115",
+            steps=_wifi_join(hostname_padding=6)
+            + _ipv6_join()
+            + _upnp(port=49153)
+            + _cloud_http("www.myedimax.com", size=240, jitter=24)
+            + _cloud_https("ic.myedimax.com", size=210, jitter=22)
+            + (
+                SetupStep(StepKind.UDP_SEND, target="relay.myedimax.com", port=8765, payload_size=110, size_jitter=14, repeat=2),
+            )
+            + _ntp("time.edimax.com"),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="Lightify",
+            vendor="Osram",
+            model="Lightify Gateway",
+            connectivity=(Connectivity.WIFI, Connectivity.ZIGBEE),
+            mac_oui="84:18:26",
+            hostname="lightify-gw",
+            steps=_wifi_join(hostname_padding=4)
+            + _ipv6_join()
+            + (
+                SetupStep(StepKind.DNS_QUERY, target="lightify.cc"),
+                SetupStep(StepKind.TCP_CONNECT, target="lightify.cc", port=4000, payload_size=160, size_jitter=20, repeat=2),
+            )
+            + _ntp("0.openwrt.pool.ntp.org"),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="WeMoInsightSwitch",
+            vendor="Belkin",
+            model="WeMo Insight Switch F7C029de",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="94:10:3e",
+            hostname="wemo-insight",
+            steps=_wifi_join(hostname_padding=8)
+            + _upnp(port=49153)
+            + _mdns("_wemo._tcp.local")
+            + _cloud_https("api.xbcs.net", size=420, jitter=32)
+            + _ntp("pool.ntp.org")
+            + (SetupStep(StepKind.HTTP_GET, target="fw.xbcs.net", payload_size=130, size_jitter=16),),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="WeMoLink",
+            vendor="Belkin",
+            model="WeMo Link Lighting Bridge F7C031vf",
+            connectivity=(Connectivity.WIFI, Connectivity.ZIGBEE),
+            mac_oui="94:10:3e",
+            hostname="wemo-link",
+            steps=_wifi_join(hostname_padding=8)
+            + _upnp(port=49152)
+            + _cloud_https("api.xbcs.net", size=300, jitter=28)
+            + (
+                SetupStep(StepKind.SSDP_NOTIFY, target="urn:Belkin:device:bridge:1", port=49152, repeat=2),
+                SetupStep(StepKind.HTTPS_CONNECT, target="nat.xbcs.net", payload_size=180, size_jitter=20),
+            )
+            + _ntp("pool.ntp.org"),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="WeMoSwitch",
+            vendor="Belkin",
+            model="WeMo Switch F7C027de",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="ec:1a:59",
+            hostname="wemo-switch",
+            steps=_wifi_join(hostname_padding=8)
+            + _upnp(port=49153)
+            + _mdns("_wemo._tcp.local")
+            + _cloud_https("api.xbcs.net", size=260, jitter=26)
+            + (SetupStep(StepKind.ICMP_PING, target="", probability=0.6),)
+            + _ntp("time.nist.gov"),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="D-LinkHomeHub",
+            vendor="D-Link",
+            model="Connected Home Hub DCH-G020",
+            connectivity=(Connectivity.WIFI, Connectivity.ETHERNET, Connectivity.ZWAVE),
+            mac_oui="c4:12:f5",
+            hostname="dch-g020-hub",
+            steps=_ethernet_join(hostname_padding=10)
+            + _ipv6_join()
+            + _upnp(port=49152)
+            + _mdns("_dhnap._tcp.local")
+            + _cloud_https("mydlink.com", size=380, jitter=30)
+            + (
+                SetupStep(StepKind.HTTPS_CONNECT, target="signal.mydlink.com", payload_size=220, size_jitter=24),
+            )
+            + _ntp("ntp1.dlink.com"),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="D-LinkDoorSensor",
+            vendor="D-Link",
+            model="Door & Window sensor",
+            connectivity=(Connectivity.ZWAVE,),
+            mac_oui="c4:12:f5",
+            hostname="dch-z110",
+            # Z-Wave only: the hub emits a short burst of cloud notifications
+            # on behalf of the sensor when it is paired.
+            steps=(
+                SetupStep(StepKind.ARP_GATEWAY),
+                SetupStep(StepKind.DNS_QUERY, target="mydlink.com"),
+                SetupStep(StepKind.HTTPS_CONNECT, target="mydlink.com", payload_size=140, size_jitter=16, repeat=2),
+                SetupStep(StepKind.MDNS_ANNOUNCE, target="_dhnap._tcp.local"),
+            ),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="D-LinkDayCam",
+            vendor="D-Link",
+            model="WiFi Day Camera DCS-930L",
+            connectivity=(Connectivity.WIFI, Connectivity.ETHERNET),
+            mac_oui="b0:c5:54",
+            hostname="dcs-930l",
+            steps=_wifi_join(hostname_padding=6)
+            + _upnp(port=80)
+            + _cloud_http("www.mydlink.com", size=200, jitter=22)
+            + (
+                SetupStep(StepKind.UDP_SEND, target="stun.mydlink.com", port=3478, payload_size=72, size_jitter=8, repeat=2),
+                SetupStep(StepKind.BOOTP_REQUEST, probability=0.5),
+            )
+            + _ntp("ntp1.dlink.com"),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="D-LinkCam",
+            vendor="D-Link",
+            model="HD IP Camera DCH-935L",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="b0:c5:54",
+            hostname="dch-935l",
+            steps=_wifi_join(hostname_padding=6)
+            + _ipv6_join()
+            + _mdns("_dcp._tcp.local")
+            + _cloud_https("signal.mydlink.com", size=320, jitter=28)
+            + (
+                SetupStep(StepKind.UDP_SEND, target="stun.mydlink.com", port=3478, payload_size=96, size_jitter=10, repeat=2),
+            )
+            + _ntp("ntp1.dlink.com"),
+        )
+    )
+
+    # ---- the four-way confusable D-Link smart-home family (Table III 1-4) --- #
+    dlink_family = "dlink-smart-home"
+    profiles.append(
+        DeviceProfile(
+            name="D-LinkSwitch",
+            vendor="D-Link",
+            model="Smart plug DSP-W215",
+            firmware_version="2.22",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="c0:a0:bb",
+            hostname="dsp-w215-plug",
+            family=dlink_family,
+            steps=_dlink_smart_home_steps(probe_size=236, extra_notify=0.7),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="D-LinkWaterSensor",
+            vendor="D-Link",
+            model="Water sensor DCH-S160",
+            firmware_version="1.20",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="c0:a0:bb",
+            hostname="dch-s160-sens",
+            family=dlink_family,
+            steps=_dlink_smart_home_steps(probe_size=222, extra_notify=0.5),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="D-LinkSiren",
+            vendor="D-Link",
+            model="Siren DCH-S220",
+            firmware_version="1.20",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="c0:a0:bb",
+            hostname="dch-s220-sirn",
+            family=dlink_family,
+            steps=_dlink_smart_home_steps(probe_size=226, extra_notify=0.5),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="D-LinkSensor",
+            vendor="D-Link",
+            model="WiFi Motion sensor DCH-S150",
+            firmware_version="1.20",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="c0:a0:bb",
+            hostname="dch-s150-sens",
+            family=dlink_family,
+            steps=_dlink_smart_home_steps(probe_size=224, extra_notify=0.55),
+        )
+    )
+
+    # ---- the TP-Link plug pair (Table III 5-6) ------------------------------ #
+    tplink_family = "tplink-plug"
+    profiles.append(
+        DeviceProfile(
+            name="TP-LinkPlugHS110",
+            vendor="TP-Link",
+            model="WiFi Smart plug HS110",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="50:c7:bf",
+            hostname="hs110-plug",
+            family=tplink_family,
+            steps=_tplink_plug_steps(command_size=168, energy_probe=0.6),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="TP-LinkPlugHS100",
+            vendor="TP-Link",
+            model="WiFi Smart plug HS100",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="50:c7:bf",
+            hostname="hs100-plug",
+            family=tplink_family,
+            steps=_tplink_plug_steps(command_size=160, energy_probe=0.4),
+        )
+    )
+
+    # ---- the Edimax plug pair (Table III 7-8) -------------------------------- #
+    edimax_family = "edimax-plug"
+    profiles.append(
+        DeviceProfile(
+            name="EdimaxPlug1101W",
+            vendor="Edimax",
+            model="SP-1101W Smart Plug Switch",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="74:da:38",
+            hostname="sp1101w",
+            family=edimax_family,
+            steps=_edimax_plug_steps(report_size=190),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="EdimaxPlug2101W",
+            vendor="Edimax",
+            model="SP-2101W Smart Plug Switch",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="74:da:38",
+            hostname="sp2101w",
+            family=edimax_family,
+            steps=_edimax_plug_steps(report_size=198),
+        )
+    )
+
+    # ---- the Smarter appliance pair (Table III 9-10) -------------------------- #
+    smarter_family = "smarter-appliance"
+    profiles.append(
+        DeviceProfile(
+            name="SmarterCoffee",
+            vendor="Smarter",
+            model="SmarterCoffee SMC10-EU",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="5c:cf:7f",
+            hostname="smarter-cof",
+            family=smarter_family,
+            steps=_smarter_appliance_steps(status_size=58),
+        )
+    )
+    profiles.append(
+        DeviceProfile(
+            name="iKettle2",
+            vendor="Smarter",
+            model="iKettle 2.0 SMK20-EU",
+            connectivity=(Connectivity.WIFI,),
+            mac_oui="5c:cf:7f",
+            hostname="smarter-ket",
+            family=smarter_family,
+            steps=_smarter_appliance_steps(status_size=54),
+        )
+    )
+
+    catalog = {profile.name: profile for profile in profiles}
+    if len(catalog) != len(profiles):
+        raise ValueError("duplicate device-type names in the catalog")
+    return catalog
+
+
+#: The catalog keyed by device-type name.
+DEVICE_CATALOG: dict[str, DeviceProfile] = build_catalog()
+
+#: Device-type names in the order used by Fig. 5 of the paper.
+DEVICE_NAMES: tuple[str, ...] = (
+    "Aria",
+    "HomeMaticPlug",
+    "Withings",
+    "MAXGateway",
+    "HueBridge",
+    "HueSwitch",
+    "EdnetGateway",
+    "EdnetCam",
+    "EdimaxCam",
+    "Lightify",
+    "WeMoInsightSwitch",
+    "WeMoLink",
+    "WeMoSwitch",
+    "D-LinkHomeHub",
+    "D-LinkDoorSensor",
+    "D-LinkDayCam",
+    "D-LinkCam",
+    "D-LinkSwitch",
+    "D-LinkWaterSensor",
+    "D-LinkSiren",
+    "D-LinkSensor",
+    "TP-LinkPlugHS110",
+    "TP-LinkPlugHS100",
+    "EdimaxPlug1101W",
+    "EdimaxPlug2101W",
+    "SmarterCoffee",
+    "iKettle2",
+)
+
+#: The devices of Table III (index -> name), i.e. the confusable ones.
+TABLE_III_DEVICES: tuple[str, ...] = DEVICE_NAMES[17:]
+
+#: Confusable families used by Table III: family label -> member names.
+CONFUSABLE_FAMILIES: dict[str, tuple[str, ...]] = {
+    "dlink-smart-home": ("D-LinkSwitch", "D-LinkWaterSensor", "D-LinkSiren", "D-LinkSensor"),
+    "tplink-plug": ("TP-LinkPlugHS110", "TP-LinkPlugHS100"),
+    "edimax-plug": ("EdimaxPlug1101W", "EdimaxPlug2101W"),
+    "smarter-appliance": ("SmarterCoffee", "iKettle2"),
+}
+
+
+def profile_of(device_type: str) -> DeviceProfile:
+    """Look up the profile of a device-type name used in Fig. 5 / Table II."""
+    if device_type not in DEVICE_CATALOG:
+        raise KeyError(f"unknown device-type: {device_type!r}")
+    return DEVICE_CATALOG[device_type]

@@ -1,0 +1,166 @@
+"""The behaviour-profile model describing a device-type's setup sequence."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.exceptions import DeviceProfileError
+
+
+class StepKind(str, enum.Enum):
+    """The kinds of communication actions a setup sequence is made of.
+
+    Each kind maps to one or more packets emitted by the simulated device;
+    see :class:`repro.devices.simulator.SetupTrafficSimulator` for the exact
+    packets each kind produces.
+    """
+
+    EAPOL_HANDSHAKE = "eapol_handshake"
+    ARP_PROBE = "arp_probe"
+    ARP_ANNOUNCE = "arp_announce"
+    ARP_GATEWAY = "arp_gateway"
+    DHCP_DISCOVER = "dhcp_discover"
+    DHCP_REQUEST = "dhcp_request"
+    BOOTP_REQUEST = "bootp_request"
+    ICMPV6_ROUTER_SOLICIT = "icmpv6_router_solicit"
+    ICMPV6_NEIGHBOR_SOLICIT = "icmpv6_neighbor_solicit"
+    MLD_REPORT = "mld_report"
+    IGMP_JOIN = "igmp_join"
+    DNS_QUERY = "dns_query"
+    MDNS_ANNOUNCE = "mdns_announce"
+    MDNS_QUERY = "mdns_query"
+    SSDP_MSEARCH = "ssdp_msearch"
+    SSDP_NOTIFY = "ssdp_notify"
+    NTP_SYNC = "ntp_sync"
+    HTTP_GET = "http_get"
+    HTTP_POST = "http_post"
+    HTTPS_CONNECT = "https_connect"
+    TCP_CONNECT = "tcp_connect"
+    UDP_SEND = "udp_send"
+    ICMP_PING = "icmp_ping"
+    LLC_FRAME = "llc_frame"
+
+
+class Connectivity(str, enum.Enum):
+    """Connectivity technologies listed in Table II."""
+
+    WIFI = "wifi"
+    ZIGBEE = "zigbee"
+    ETHERNET = "ethernet"
+    ZWAVE = "zwave"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class SetupStep:
+    """A single logical action in a device's setup sequence.
+
+    Attributes:
+        kind: what the device does (see :class:`StepKind`).
+        target: a domain name, service name or port description, depending
+            on the kind (e.g. the cloud host contacted by an HTTPS step).
+        port: destination port for TCP/UDP steps that need one.
+        payload_size: mean application payload size in bytes.
+        size_jitter: uniform +/- variation applied to ``payload_size`` at
+            simulation time (run-to-run intra-type variance).
+        repeat: how many times the action is performed back to back.
+        probability: chance that the step occurs at all in a given run
+            (models optional retries / races observed in real captures).
+        source_port_dynamic: use an ephemeral source port (True) or a
+            well-known/registered one equal to ``port`` (False).
+    """
+
+    kind: StepKind
+    target: str = ""
+    port: int = 0
+    payload_size: int = 0
+    size_jitter: int = 0
+    repeat: int = 1
+    probability: float = 1.0
+    source_port_dynamic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.repeat < 1:
+            raise DeviceProfileError(f"step repeat must be >= 1, got {self.repeat}")
+        if not 0.0 < self.probability <= 1.0:
+            raise DeviceProfileError(
+                f"step probability must be in (0, 1], got {self.probability}"
+            )
+        if self.payload_size < 0 or self.size_jitter < 0:
+            raise DeviceProfileError("payload_size and size_jitter must be non-negative")
+        if not 0 <= self.port <= 65535:
+            raise DeviceProfileError(f"invalid port: {self.port}")
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """The behaviour profile of one device-type.
+
+    A device-type is the combination of make, model and software version
+    (Sect. III of the paper); ``firmware_version`` is therefore part of the
+    identity and a firmware update yields a *different* profile.
+
+    Attributes:
+        name: the identifier used in Fig. 5 / Table II (e.g. ``"D-LinkCam"``).
+        vendor: manufacturer name.
+        model: commercial model string.
+        firmware_version: firmware/software version of this device-type.
+        connectivity: supported connectivity technologies (Table II columns).
+        steps: the ordered setup sequence.
+        mac_oui: vendor OUI prefix used when simulating device instances.
+        mean_step_gap: mean inter-step delay in seconds (exponential).
+        hostname: DHCP hostname announced by the device.
+        family: label shared by near-identical devices of the same vendor;
+            drives the expected confusion structure of Table III.
+    """
+
+    name: str
+    vendor: str
+    model: str
+    firmware_version: str = "1.0.0"
+    connectivity: tuple[Connectivity, ...] = (Connectivity.WIFI,)
+    steps: tuple[SetupStep, ...] = ()
+    mac_oui: str = "02:00:00"
+    mean_step_gap: float = 0.4
+    hostname: str = ""
+    family: Optional[str] = None
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DeviceProfileError("a device profile requires a name")
+        if not self.steps:
+            raise DeviceProfileError(f"profile {self.name!r} has no setup steps")
+
+    @property
+    def device_type(self) -> str:
+        """The classification label of this profile (its name)."""
+        return self.name
+
+    @property
+    def step_count(self) -> int:
+        return len(self.steps)
+
+    def with_firmware(self, firmware_version: str, extra_steps: tuple[SetupStep, ...] = ()) -> "DeviceProfile":
+        """Derive the profile of the same hardware after a firmware update.
+
+        The paper observed that firmware updates changed fingerprints enough
+        to be distinguishable (Sect. VIII-B); appending or altering steps on
+        the derived profile models that effect.
+        """
+        return replace(
+            self,
+            firmware_version=firmware_version,
+            steps=self.steps + tuple(extra_steps),
+            metadata={**self.metadata, "derived_from": self.firmware_version},
+        )
+
+    def describe(self) -> str:
+        """A short human-readable description used by examples and logs."""
+        technologies = "/".join(connectivity.value for connectivity in self.connectivity)
+        return (
+            f"{self.name}: {self.vendor} {self.model} (fw {self.firmware_version}, "
+            f"{technologies}, {self.step_count} setup steps)"
+        )

@@ -1,0 +1,563 @@
+"""Rendering device behaviour profiles into packet traces.
+
+The simulator plays the role of the paper's laboratory setup (Fig. 4): a
+device joins the Security Gateway's network and performs its vendor-specific
+setup procedure while every packet it sends is recorded.  Only packets
+*originating from the device* are produced, because the fingerprint is
+defined over the packets received from the new device (Sect. IV-A).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.net.addresses import MACAddress
+from repro.net.layers import dhcp as dhcp_mod
+from repro.net.layers import dns as dns_mod
+from repro.net.layers import http as http_mod
+from repro.net.layers import ntp as ntp_mod
+from repro.net.layers import ssdp as ssdp_mod
+from repro.net.layers import tls as tls_mod
+from repro.net.layers.arp import OP_REQUEST, ARPPacket
+from repro.net.layers.eapol import EAPOLFrame, TYPE_KEY
+from repro.net.layers.ethernet import ETHERTYPE, EthernetFrame
+from repro.net.layers.icmp import ICMPMessage, TYPE_ECHO_REQUEST
+from repro.net.layers.icmpv6 import (
+    ICMPv6Message,
+    TYPE_MLDV2_REPORT,
+    TYPE_NEIGHBOR_SOLICITATION,
+    TYPE_ROUTER_SOLICITATION,
+)
+from repro.net.layers.ipv4 import IPOption, IPv4Header, OPTION_NOP, OPTION_ROUTER_ALERT, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from repro.net.layers.ipv6 import HBH_OPTION_ROUTER_ALERT, IPv6Header, NEXT_HEADER_ICMPV6
+from repro.net.layers.llc import LLCHeader, SAP_SPANNING_TREE
+from repro.net.layers.tcp import FLAG_ACK, FLAG_PSH, FLAG_SYN, TCPSegment
+from repro.net.layers.udp import UDPDatagram
+from repro.net.packet import Packet
+from repro.devices.profiles import DeviceProfile, SetupStep, StepKind
+
+_BROADCAST = MACAddress.broadcast()
+_IPV4_MULTICAST_MAC = MACAddress.from_string("01:00:5e:00:00:fb")
+_IPV6_MULTICAST_MAC = MACAddress.from_string("33:33:00:00:00:01")
+
+
+@dataclass
+class LabEnvironment:
+    """The simulated home/small-office network the devices join.
+
+    Attributes:
+        gateway_mac / gateway_ip: the Security Gateway's LAN identity.
+        subnet_prefix: first three octets of the IPv4 subnet.
+        dns_server: resolver IP handed out via DHCP (defaults to the gateway).
+        ntp_server_ip: address of the NTP pool server used by devices.
+    """
+
+    gateway_mac: MACAddress = field(default_factory=lambda: MACAddress.from_string("b0:c5:54:10:20:30"))
+    gateway_ip: str = "192.168.0.1"
+    subnet_prefix: str = "192.168.0"
+    dns_server: str = ""
+    ntp_server_ip: str = "129.250.35.250"
+    _assigned_hosts: int = field(default=9, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.dns_server:
+            self.dns_server = self.gateway_ip
+
+    def allocate_ip(self) -> str:
+        """Allocate the next IPv4 address of the subnet's DHCP pool.
+
+        The pool spans ``.10`` to ``.249``; once exhausted, addresses are
+        reused from the start, mirroring how DHCP leases of devices that
+        were factory-reset between measurement runs get recycled.
+        """
+        self._assigned_hosts += 1
+        host = 10 + (self._assigned_hosts - 10) % 240
+        return f"{self.subnet_prefix}.{host}"
+
+    def resolve(self, domain: str) -> str:
+        """Deterministically map a domain name to a stable public IP address.
+
+        The mapping stands in for real DNS resolution: a given cloud host
+        always resolves to the same address, so the destination-IP-counter
+        feature behaves consistently across simulation runs.
+        """
+        digest = hashlib.sha256(domain.lower().encode("ascii")).digest()
+        octets = [52 + digest[0] % 150, digest[1] % 254 + 1, digest[2] % 254 + 1, digest[3] % 254 + 1]
+        return ".".join(str(octet) for octet in octets)
+
+
+@dataclass
+class SetupTrace:
+    """The packets a simulated device emitted during one setup run."""
+
+    profile: DeviceProfile
+    device_mac: MACAddress
+    device_ip: str
+    packets: list[Packet]
+
+    @property
+    def device_type(self) -> str:
+        return self.profile.device_type
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+
+class SetupTrafficSimulator:
+    """Simulates the setup-phase traffic of device profiles.
+
+    One simulator instance owns a random generator, so repeated calls with
+    the same seed reproduce the same dataset (important for the evaluation
+    harness and the tests).
+    """
+
+    def __init__(self, environment: Optional[LabEnvironment] = None, seed: Optional[int] = None):
+        self.environment = environment or LabEnvironment()
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Public API.
+    # ------------------------------------------------------------------ #
+    def random_device_mac(self, profile: DeviceProfile) -> MACAddress:
+        """A fresh device MAC using the profile vendor's OUI prefix."""
+        suffix = ":".join(f"{int(self.rng.integers(0, 256)):02x}" for _ in range(3))
+        return MACAddress.from_string(f"{profile.mac_oui}:{suffix}")
+
+    def simulate(
+        self,
+        profile: DeviceProfile,
+        device_mac: Optional[MACAddress] = None,
+        start_time: float = 0.0,
+    ) -> SetupTrace:
+        """Simulate one setup run of ``profile`` and return its packet trace."""
+        device_mac = device_mac or self.random_device_mac(profile)
+        device_ip = self.environment.allocate_ip()
+        context = _RunContext(
+            simulator=self,
+            profile=profile,
+            device_mac=device_mac,
+            device_ip=device_ip,
+            clock=start_time,
+        )
+        packets: list[Packet] = []
+        for step in profile.steps:
+            if self.rng.random() > step.probability:
+                continue
+            for _ in range(step.repeat):
+                packets.extend(context.render_step(step))
+            context.advance(self.rng.exponential(profile.mean_step_gap))
+        if not packets:
+            raise SimulationError(f"profile {profile.name!r} produced no packets")
+        return SetupTrace(profile=profile, device_mac=device_mac, device_ip=device_ip, packets=packets)
+
+    def simulate_many(self, profile: DeviceProfile, runs: int) -> list[SetupTrace]:
+        """Simulate several independent setup runs of the same device-type."""
+        if runs <= 0:
+            raise SimulationError("runs must be positive")
+        return [self.simulate(profile) for _ in range(runs)]
+
+
+@dataclass
+class _RunContext:
+    """Mutable state of a single simulated setup run."""
+
+    simulator: SetupTrafficSimulator
+    profile: DeviceProfile
+    device_mac: MACAddress
+    device_ip: str
+    clock: float
+
+    def advance(self, seconds: float) -> None:
+        self.clock += max(0.0, seconds)
+
+    # ------------------------------------------------------------------ #
+    # Packet helpers.
+    # ------------------------------------------------------------------ #
+    @property
+    def _env(self) -> LabEnvironment:
+        return self.simulator.environment
+
+    @property
+    def _rng(self) -> np.random.Generator:
+        return self.simulator.rng
+
+    def _emit(self, packet: Packet) -> Packet:
+        packet.timestamp = self.clock
+        self.advance(float(self._rng.uniform(0.005, 0.05)))
+        return packet
+
+    def _ephemeral_port(self) -> int:
+        return int(self._rng.integers(49152, 65535))
+
+    def _registered_port(self) -> int:
+        return int(self._rng.integers(1024, 49151))
+
+    def _payload(self, step: SetupStep) -> bytes:
+        size = step.payload_size
+        if step.size_jitter:
+            size += int(self._rng.integers(-step.size_jitter, step.size_jitter + 1))
+        return b"\x00" * max(0, size)
+
+    def _ethernet(self, dst: MACAddress, ethertype: int) -> EthernetFrame:
+        return EthernetFrame(dst=dst, src=self.device_mac, ethertype=ethertype)
+
+    def _ipv4(self, dst_ip: str, protocol: int, options: Optional[list[IPOption]] = None) -> IPv4Header:
+        return IPv4Header(
+            src=self.device_ip,
+            dst=dst_ip,
+            protocol=protocol,
+            ttl=64,
+            identification=int(self._rng.integers(0, 65536)),
+            options=options or [],
+        )
+
+    def _ipv6_link_local(self) -> str:
+        mac_bytes = self.device_mac.to_bytes()
+        return "fe80::" + ":".join(
+            [
+                f"{(mac_bytes[0] ^ 0x02):02x}{mac_bytes[1]:02x}",
+                f"{mac_bytes[2]:02x}ff",
+                f"fe{mac_bytes[3]:02x}",
+                f"{mac_bytes[4]:02x}{mac_bytes[5]:02x}",
+            ]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Step rendering.
+    # ------------------------------------------------------------------ #
+    def render_step(self, step: SetupStep) -> list[Packet]:
+        """Render one setup step into the packets the device sends."""
+        renderers = {
+            StepKind.EAPOL_HANDSHAKE: self._render_eapol,
+            StepKind.ARP_PROBE: self._render_arp_probe,
+            StepKind.ARP_ANNOUNCE: self._render_arp_announce,
+            StepKind.ARP_GATEWAY: self._render_arp_gateway,
+            StepKind.DHCP_DISCOVER: self._render_dhcp_discover,
+            StepKind.DHCP_REQUEST: self._render_dhcp_request,
+            StepKind.BOOTP_REQUEST: self._render_bootp_request,
+            StepKind.ICMPV6_ROUTER_SOLICIT: self._render_icmpv6_router_solicit,
+            StepKind.ICMPV6_NEIGHBOR_SOLICIT: self._render_icmpv6_neighbor_solicit,
+            StepKind.MLD_REPORT: self._render_mld_report,
+            StepKind.IGMP_JOIN: self._render_igmp_join,
+            StepKind.DNS_QUERY: self._render_dns_query,
+            StepKind.MDNS_ANNOUNCE: self._render_mdns_announce,
+            StepKind.MDNS_QUERY: self._render_mdns_query,
+            StepKind.SSDP_MSEARCH: self._render_ssdp_msearch,
+            StepKind.SSDP_NOTIFY: self._render_ssdp_notify,
+            StepKind.NTP_SYNC: self._render_ntp,
+            StepKind.HTTP_GET: self._render_http_get,
+            StepKind.HTTP_POST: self._render_http_post,
+            StepKind.HTTPS_CONNECT: self._render_https,
+            StepKind.TCP_CONNECT: self._render_tcp_connect,
+            StepKind.UDP_SEND: self._render_udp_send,
+            StepKind.ICMP_PING: self._render_icmp_ping,
+            StepKind.LLC_FRAME: self._render_llc,
+        }
+        renderer = renderers.get(step.kind)
+        if renderer is None:
+            raise SimulationError(f"no renderer for step kind {step.kind!r}")
+        return renderer(step)
+
+    # -- link layer / join ------------------------------------------------ #
+    def _render_eapol(self, step: SetupStep) -> list[Packet]:
+        packets = []
+        for message_index in (2, 4):
+            body_size = 95 + 22 * (message_index == 2) + int(self._rng.integers(0, 4))
+            frame = EAPOLFrame(packet_type=TYPE_KEY, body=b"\x00" * body_size)
+            packets.append(
+                self._emit(
+                    Packet(
+                        ethernet=self._ethernet(self._env.gateway_mac, ETHERTYPE.EAPOL),
+                        eapol=frame,
+                    )
+                )
+            )
+        return packets
+
+    def _render_arp_probe(self, step: SetupStep) -> list[Packet]:
+        arp = ARPPacket(
+            operation=OP_REQUEST,
+            sender_mac=self.device_mac,
+            sender_ip="0.0.0.0",
+            target_mac=MACAddress.zero(),
+            target_ip=self.device_ip,
+        )
+        return [
+            self._emit(
+                Packet(ethernet=self._ethernet(_BROADCAST, ETHERTYPE.ARP), arp=arp)
+            )
+        ]
+
+    def _render_arp_announce(self, step: SetupStep) -> list[Packet]:
+        arp = ARPPacket(
+            operation=OP_REQUEST,
+            sender_mac=self.device_mac,
+            sender_ip=self.device_ip,
+            target_mac=MACAddress.zero(),
+            target_ip=self.device_ip,
+        )
+        return [
+            self._emit(
+                Packet(ethernet=self._ethernet(_BROADCAST, ETHERTYPE.ARP), arp=arp)
+            )
+        ]
+
+    def _render_arp_gateway(self, step: SetupStep) -> list[Packet]:
+        arp = ARPPacket(
+            operation=OP_REQUEST,
+            sender_mac=self.device_mac,
+            sender_ip=self.device_ip,
+            target_mac=MACAddress.zero(),
+            target_ip=self._env.gateway_ip,
+        )
+        return [
+            self._emit(
+                Packet(ethernet=self._ethernet(_BROADCAST, ETHERTYPE.ARP), arp=arp)
+            )
+        ]
+
+    # -- addressing ------------------------------------------------------- #
+    def _dhcp_packet(self, message: dhcp_mod.DHCPMessage) -> Packet:
+        return Packet(
+            ethernet=self._ethernet(_BROADCAST, ETHERTYPE.IPV4),
+            ipv4=IPv4Header(src="0.0.0.0", dst="255.255.255.255", protocol=PROTO_UDP),
+            udp=UDPDatagram(src_port=dhcp_mod.CLIENT_PORT, dst_port=dhcp_mod.SERVER_PORT),
+            application=message,
+        )
+
+    def _render_dhcp_discover(self, step: SetupStep) -> list[Packet]:
+        hostname = self.profile.hostname or self.profile.name.lower()
+        message = dhcp_mod.discover(
+            self.device_mac,
+            transaction_id=int(self._rng.integers(0, 2**32)),
+            hostname=hostname,
+        )
+        if step.payload_size:
+            message.options.append(
+                dhcp_mod.DHCPOption(dhcp_mod.OPTION_VENDOR_CLASS, self._payload(step))
+            )
+        return [self._emit(self._dhcp_packet(message))]
+
+    def _render_dhcp_request(self, step: SetupStep) -> list[Packet]:
+        hostname = self.profile.hostname or self.profile.name.lower()
+        message = dhcp_mod.request(
+            self.device_mac,
+            requested_ip=self.device_ip,
+            transaction_id=int(self._rng.integers(0, 2**32)),
+            hostname=hostname,
+        )
+        return [self._emit(self._dhcp_packet(message))]
+
+    def _render_bootp_request(self, step: SetupStep) -> list[Packet]:
+        message = dhcp_mod.DHCPMessage(
+            op=dhcp_mod.OP_REQUEST, client_mac=self.device_mac, is_dhcp=False
+        )
+        return [self._emit(self._dhcp_packet(message))]
+
+    # -- IPv6 / multicast membership --------------------------------------- #
+    def _ipv6_packet(self, dst_ip: str, message: ICMPv6Message, router_alert: bool = False) -> Packet:
+        options = [HBH_OPTION_ROUTER_ALERT] if router_alert else []
+        header = IPv6Header(
+            src=self._ipv6_link_local(),
+            dst=dst_ip,
+            next_header=NEXT_HEADER_ICMPV6,
+            hop_limit=1,
+            hop_by_hop_options=options,
+        )
+        return Packet(
+            ethernet=self._ethernet(_IPV6_MULTICAST_MAC, ETHERTYPE.IPV6),
+            ipv6=header,
+            icmpv6=message,
+        )
+
+    def _render_icmpv6_router_solicit(self, step: SetupStep) -> list[Packet]:
+        message = ICMPv6Message(icmp_type=TYPE_ROUTER_SOLICITATION, body=b"\x00" * 8)
+        return [self._emit(self._ipv6_packet("ff02::2", message))]
+
+    def _render_icmpv6_neighbor_solicit(self, step: SetupStep) -> list[Packet]:
+        message = ICMPv6Message(icmp_type=TYPE_NEIGHBOR_SOLICITATION, body=b"\x00" * 20)
+        return [self._emit(self._ipv6_packet("ff02::1:ff00:1", message))]
+
+    def _render_mld_report(self, step: SetupStep) -> list[Packet]:
+        message = ICMPv6Message(icmp_type=TYPE_MLDV2_REPORT, body=b"\x00" * 24)
+        return [self._emit(self._ipv6_packet("ff02::16", message, router_alert=True))]
+
+    def _render_igmp_join(self, step: SetupStep) -> list[Packet]:
+        header = self._ipv4(
+            "224.0.0.22",
+            protocol=2,
+            options=[IPOption(kind=OPTION_ROUTER_ALERT, data=b"\x00\x00"), IPOption(kind=OPTION_NOP)],
+        )
+        packet = Packet(
+            ethernet=self._ethernet(_IPV4_MULTICAST_MAC, ETHERTYPE.IPV4),
+            ipv4=header,
+            payload=b"\x22\x00\x00\x00" + b"\x00" * 12,
+        )
+        return [self._emit(packet)]
+
+    # -- name resolution and discovery -------------------------------------- #
+    def _render_dns_query(self, step: SetupStep) -> list[Packet]:
+        message = dns_mod.query(step.target, transaction_id=int(self._rng.integers(0, 65536)))
+        packet = Packet(
+            ethernet=self._ethernet(self._env.gateway_mac, ETHERTYPE.IPV4),
+            ipv4=self._ipv4(self._env.dns_server, PROTO_UDP),
+            udp=UDPDatagram(src_port=self._ephemeral_port(), dst_port=dns_mod.PORT_DNS),
+            application=message,
+        )
+        return [self._emit(packet)]
+
+    def _mdns_packet(self, message: dns_mod.DNSMessage) -> Packet:
+        return Packet(
+            ethernet=self._ethernet(_IPV4_MULTICAST_MAC, ETHERTYPE.IPV4),
+            ipv4=self._ipv4(dns_mod.MDNS_GROUP_V4, PROTO_UDP),
+            udp=UDPDatagram(src_port=dns_mod.PORT_MDNS, dst_port=dns_mod.PORT_MDNS),
+            application=message,
+        )
+
+    def _render_mdns_announce(self, step: SetupStep) -> list[Packet]:
+        hostname = self.profile.hostname or self.profile.name.lower()
+        message = dns_mod.mdns_announcement(step.target or "_http._tcp.local", hostname)
+        return [self._emit(self._mdns_packet(message))]
+
+    def _render_mdns_query(self, step: SetupStep) -> list[Packet]:
+        message = dns_mod.query(step.target or "_services._dns-sd._udp.local", dns_mod.TYPE_PTR)
+        return [self._emit(self._mdns_packet(message))]
+
+    def _render_ssdp_msearch(self, step: SetupStep) -> list[Packet]:
+        message = ssdp_mod.msearch(step.target or "ssdp:all")
+        packet = Packet(
+            ethernet=self._ethernet(_IPV4_MULTICAST_MAC, ETHERTYPE.IPV4),
+            ipv4=self._ipv4(ssdp_mod.MULTICAST_GROUP_V4, PROTO_UDP),
+            udp=UDPDatagram(src_port=self._ephemeral_port(), dst_port=ssdp_mod.PORT_SSDP),
+            application=message,
+        )
+        return [self._emit(packet)]
+
+    def _render_ssdp_notify(self, step: SetupStep) -> list[Packet]:
+        usn = f"uuid:{self.profile.name.lower()}-{self.device_mac}"
+        location = f"http://{self.device_ip}:{step.port or 8080}/description.xml"
+        message = ssdp_mod.notify(step.target or "upnp:rootdevice", usn, location)
+        packet = Packet(
+            ethernet=self._ethernet(_IPV4_MULTICAST_MAC, ETHERTYPE.IPV4),
+            ipv4=self._ipv4(ssdp_mod.MULTICAST_GROUP_V4, PROTO_UDP),
+            udp=UDPDatagram(src_port=self._ephemeral_port(), dst_port=ssdp_mod.PORT_SSDP),
+            application=message,
+        )
+        return [self._emit(packet)]
+
+    def _render_ntp(self, step: SetupStep) -> list[Packet]:
+        server_ip = self._env.resolve(step.target) if step.target else self._env.ntp_server_ip
+        message = ntp_mod.NTPMessage(transmit_timestamp=int(self._rng.integers(0, 2**63)))
+        packet = Packet(
+            ethernet=self._ethernet(self._env.gateway_mac, ETHERTYPE.IPV4),
+            ipv4=self._ipv4(server_ip, PROTO_UDP),
+            udp=UDPDatagram(src_port=ntp_mod.PORT_NTP, dst_port=ntp_mod.PORT_NTP),
+            application=message,
+        )
+        return [self._emit(packet)]
+
+    # -- cloud / application traffic ---------------------------------------- #
+    def _tcp_exchange(
+        self,
+        dst_ip: str,
+        dst_port: int,
+        payload: bytes,
+        application: object = None,
+    ) -> list[Packet]:
+        source_port = self._ephemeral_port()
+        syn = Packet(
+            ethernet=self._ethernet(self._env.gateway_mac, ETHERTYPE.IPV4),
+            ipv4=self._ipv4(dst_ip, PROTO_TCP),
+            tcp=TCPSegment(
+                src_port=source_port,
+                dst_port=dst_port,
+                seq=int(self._rng.integers(0, 2**32)),
+                flags=FLAG_SYN,
+            ),
+        )
+        data = Packet(
+            ethernet=self._ethernet(self._env.gateway_mac, ETHERTYPE.IPV4),
+            ipv4=self._ipv4(dst_ip, PROTO_TCP),
+            tcp=TCPSegment(
+                src_port=source_port,
+                dst_port=dst_port,
+                seq=int(self._rng.integers(0, 2**32)),
+                flags=FLAG_PSH | FLAG_ACK,
+                payload=payload if application is None else b"",
+            ),
+            application=application,
+        )
+        return [self._emit(syn), self._emit(data)]
+
+    def _render_http_get(self, step: SetupStep) -> list[Packet]:
+        host = step.target or "api.example.com"
+        destination = self._env.resolve(host)
+        request = http_mod.get(
+            "/setup" if not step.payload_size else f"/register?pad={'x' * 0}",
+            host,
+            user_agent=f"{self.profile.vendor}-{self.profile.model}/{self.profile.firmware_version}",
+        )
+        request.body = self._payload(step)
+        if request.body:
+            request.headers["Content-Length"] = str(len(request.body))
+        return self._tcp_exchange(destination, step.port or http_mod.PORT_HTTP, b"", application=request)
+
+    def _render_http_post(self, step: SetupStep) -> list[Packet]:
+        host = step.target or "api.example.com"
+        destination = self._env.resolve(host)
+        request = http_mod.post("/register", host, self._payload(step))
+        return self._tcp_exchange(destination, step.port or http_mod.PORT_HTTP, b"", application=request)
+
+    def _render_https(self, step: SetupStep) -> list[Packet]:
+        host = step.target or "cloud.example.com"
+        destination = self._env.resolve(host)
+        size = max(64, step.payload_size + int(self._rng.integers(-step.size_jitter, step.size_jitter + 1)) if step.size_jitter else step.payload_size or 180)
+        hello = tls_mod.client_hello(host, payload_size=size)
+        return self._tcp_exchange(destination, step.port or tls_mod.PORT_HTTPS, b"", application=hello)
+
+    def _render_tcp_connect(self, step: SetupStep) -> list[Packet]:
+        destination = self._env.resolve(step.target) if step.target else self._env.gateway_ip
+        return self._tcp_exchange(destination, step.port or self._registered_port(), self._payload(step))
+
+    def _render_udp_send(self, step: SetupStep) -> list[Packet]:
+        destination = self._env.resolve(step.target) if step.target else f"{self._env.subnet_prefix}.255"
+        source_port = self._ephemeral_port() if step.source_port_dynamic else step.port
+        packet = Packet(
+            ethernet=self._ethernet(self._env.gateway_mac if step.target else _BROADCAST, ETHERTYPE.IPV4),
+            ipv4=self._ipv4(destination, PROTO_UDP),
+            udp=UDPDatagram(
+                src_port=source_port,
+                dst_port=step.port or self._registered_port(),
+                payload=self._payload(step),
+            ),
+        )
+        return [self._emit(packet)]
+
+    def _render_icmp_ping(self, step: SetupStep) -> list[Packet]:
+        destination = self._env.resolve(step.target) if step.target else self._env.gateway_ip
+        message = ICMPMessage(
+            icmp_type=TYPE_ECHO_REQUEST,
+            identifier=int(self._rng.integers(0, 65536)),
+            sequence=1,
+            payload=b"\x00" * max(8, step.payload_size),
+        )
+        packet = Packet(
+            ethernet=self._ethernet(self._env.gateway_mac, ETHERTYPE.IPV4),
+            ipv4=self._ipv4(destination, PROTO_ICMP),
+            icmp=message,
+        )
+        return [self._emit(packet)]
+
+    def _render_llc(self, step: SetupStep) -> list[Packet]:
+        payload = self._payload(step) or b"\x00" * 35
+        packet = Packet(
+            ethernet=EthernetFrame(dst=_BROADCAST, src=self.device_mac, ethertype=len(payload) + 3),
+            llc=LLCHeader(dsap=SAP_SPANNING_TREE, ssap=SAP_SPANNING_TREE),
+            payload=payload,
+        )
+        return [self._emit(packet)]

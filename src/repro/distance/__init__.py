@@ -1,0 +1,14 @@
+"""Edit-distance discrimination (Sect. IV-B-2 of the paper)."""
+
+from repro.distance.damerau_levenshtein import (
+    damerau_levenshtein,
+    normalized_damerau_levenshtein,
+)
+from repro.distance.discrimination import DissimilarityScore, EditDistanceDiscriminator
+
+__all__ = [
+    "damerau_levenshtein",
+    "normalized_damerau_levenshtein",
+    "EditDistanceDiscriminator",
+    "DissimilarityScore",
+]

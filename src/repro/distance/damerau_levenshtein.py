@@ -1,0 +1,62 @@
+"""Damerau-Levenshtein edit distance over arbitrary hashable symbols.
+
+The discrimination stage treats a variable-length fingerprint ``F`` as a
+word whose characters are whole packet columns: two characters are equal
+only when *all* 23 features match.  The distance counts insertions,
+deletions, substitutions and immediate (adjacent) transpositions, i.e. the
+restricted "optimal string alignment" variant originally described by
+Damerau (1964), which is what the paper cites.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.exceptions import FingerprintError
+
+
+def damerau_levenshtein(first: Sequence[Hashable], second: Sequence[Hashable]) -> int:
+    """Absolute Damerau-Levenshtein distance between two symbol sequences."""
+    len_first = len(first)
+    len_second = len(second)
+    if len_first == 0:
+        return len_second
+    if len_second == 0:
+        return len_first
+
+    # Classic dynamic program with three rows (previous-previous, previous,
+    # current) which is all the adjacent-transposition case needs.
+    previous_previous = [0] * (len_second + 1)
+    previous = list(range(len_second + 1))
+    for i in range(1, len_first + 1):
+        current = [i] + [0] * len_second
+        for j in range(1, len_second + 1):
+            substitution_cost = 0 if first[i - 1] == second[j - 1] else 1
+            current[j] = min(
+                previous[j] + 1,  # deletion
+                current[j - 1] + 1,  # insertion
+                previous[j - 1] + substitution_cost,  # substitution
+            )
+            if (
+                i > 1
+                and j > 1
+                and first[i - 1] == second[j - 2]
+                and first[i - 2] == second[j - 1]
+            ):
+                current[j] = min(current[j], previous_previous[j - 2] + 1)  # transposition
+        previous_previous, previous = previous, current
+    return previous[len_second]
+
+
+def normalized_damerau_levenshtein(
+    first: Sequence[Hashable], second: Sequence[Hashable]
+) -> float:
+    """Distance divided by the length of the longer sequence, bounded on [0, 1].
+
+    This is the normalisation the paper applies before summing per-type
+    dissimilarity scores.
+    """
+    longest = max(len(first), len(second))
+    if longest == 0:
+        raise FingerprintError("cannot normalise the distance of two empty sequences")
+    return damerau_levenshtein(first, second) / longest

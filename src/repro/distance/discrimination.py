@@ -1,0 +1,90 @@
+"""Edit-distance discrimination between candidate device-types.
+
+When the fixed-length fingerprint of an unknown device is accepted by more
+than one per-type classifier, the paper compares the *variable-length*
+fingerprint ``F`` against up to five reference fingerprints of each
+candidate type using the normalised Damerau-Levenshtein distance.  The
+per-type distances are summed into a dissimilarity score in ``[0, 5]`` and
+the candidate with the lowest score wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.distance.damerau_levenshtein import normalized_damerau_levenshtein
+from repro.exceptions import IdentificationError
+from repro.features.fingerprint import Fingerprint
+
+
+@dataclass(frozen=True)
+class DissimilarityScore:
+    """The summed normalised distance of a fingerprint to one device-type."""
+
+    device_type: str
+    score: float
+    comparisons: int
+
+    def __lt__(self, other: "DissimilarityScore") -> bool:
+        return self.score < other.score
+
+
+@dataclass
+class EditDistanceDiscriminator:
+    """Discriminates between candidate device-types via edit distance.
+
+    Attributes:
+        references_per_type: how many reference fingerprints of each
+            candidate type to compare against (5 in the paper).
+        rng: random generator used to pick the reference subset.
+    """
+
+    references_per_type: int = 5
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.references_per_type <= 0:
+            raise IdentificationError("references_per_type must be positive")
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+
+    def _select_references(self, references: Sequence[Fingerprint]) -> list[Fingerprint]:
+        if len(references) <= self.references_per_type:
+            return list(references)
+        indices = self.rng.choice(len(references), size=self.references_per_type, replace=False)
+        return [references[int(index)] for index in indices]
+
+    def score_type(
+        self, fingerprint: Fingerprint, device_type: str, references: Sequence[Fingerprint]
+    ) -> DissimilarityScore:
+        """Dissimilarity score of ``fingerprint`` with one candidate type."""
+        if not references:
+            raise IdentificationError(f"no reference fingerprints for type {device_type!r}")
+        chosen = self._select_references(references)
+        word = fingerprint.as_symbol_sequence()
+        total = 0.0
+        for reference in chosen:
+            total += normalized_damerau_levenshtein(word, reference.as_symbol_sequence())
+        return DissimilarityScore(device_type=device_type, score=total, comparisons=len(chosen))
+
+    def discriminate(
+        self,
+        fingerprint: Fingerprint,
+        candidates: dict[str, Sequence[Fingerprint]],
+    ) -> tuple[str, list[DissimilarityScore]]:
+        """Pick the best-matching type among ``candidates``.
+
+        ``candidates`` maps each candidate device-type to its reference
+        fingerprints (training-set fingerprints of that type).  Returns the
+        winning type and every per-type score (sorted, best first).
+        """
+        if not candidates:
+            raise IdentificationError("discrimination requires at least one candidate type")
+        scores = sorted(
+            self.score_type(fingerprint, device_type, references)
+            for device_type, references in candidates.items()
+        )
+        return scores[0].device_type, scores

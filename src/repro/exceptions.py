@@ -1,0 +1,49 @@
+"""Exception hierarchy shared by all repro subpackages."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class PacketDecodeError(ReproError):
+    """Raised when a byte buffer cannot be parsed as the expected layer."""
+
+
+class PacketBuildError(ReproError):
+    """Raised when a layer cannot be serialised to bytes."""
+
+
+class PcapFormatError(ReproError):
+    """Raised when a pcap file is malformed or uses an unsupported format."""
+
+
+class FingerprintError(ReproError):
+    """Raised for invalid fingerprint construction or comparison."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid machine-learning model usage (e.g. predict before fit)."""
+
+
+class DatasetError(ReproError):
+    """Raised when a fingerprint dataset is malformed or inconsistent."""
+
+
+class IdentificationError(ReproError):
+    """Raised for invalid identification pipeline usage."""
+
+
+class DeviceProfileError(ReproError):
+    """Raised when a device behaviour profile is invalid."""
+
+
+class EnforcementError(ReproError):
+    """Raised for invalid enforcement rules or isolation levels."""
+
+
+class SdnError(ReproError):
+    """Raised for invalid SDN switch/controller operations."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid simulation configuration."""

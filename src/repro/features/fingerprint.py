@@ -1,0 +1,173 @@
+"""Device fingerprints ``F`` (variable length) and ``F'`` (fixed length).
+
+A fingerprint ``F`` is conceptually the 23 x n matrix of Eq. (1) in the
+paper: one column per packet observed during the device setup phase, with
+consecutive identical columns removed.  The fixed-length fingerprint ``F'``
+concatenates the first 12 *unique* packet vectors of ``F`` into a
+276-dimensional vector (zero-padded when fewer than 12 unique packets
+exist), which is what the per-device-type Random Forest classifiers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import FingerprintError
+from repro.features.packet_features import FEATURE_COUNT, PacketFeatureExtractor
+from repro.net.packet import Packet
+
+#: Number of unique packet vectors concatenated into the fixed fingerprint.
+FIXED_PACKET_COUNT = 12
+
+#: Dimension of the fixed-length fingerprint F' (12 packets x 23 features).
+FIXED_VECTOR_SIZE = FIXED_PACKET_COUNT * FEATURE_COUNT
+
+
+@dataclass
+class Fingerprint:
+    """A device fingerprint: an ordered sequence of per-packet feature vectors.
+
+    Attributes:
+        vectors: array of shape ``(n, 23)`` -- one row per packet, in the
+            order the packets were sent (the transpose of the paper's
+            ``23 x n`` matrix, which is more convenient in numpy).
+        device_type: optional ground-truth label.
+        device_mac: optional MAC address string of the captured device.
+    """
+
+    vectors: np.ndarray
+    device_type: Optional[str] = None
+    device_mac: Optional[str] = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        vectors = np.asarray(self.vectors, dtype=np.int64)
+        if vectors.size == 0:
+            vectors = vectors.reshape(0, FEATURE_COUNT)
+        if vectors.ndim != 2 or vectors.shape[1] != FEATURE_COUNT:
+            raise FingerprintError(
+                f"fingerprint vectors must have shape (n, {FEATURE_COUNT}), got {vectors.shape}"
+            )
+        self.vectors = vectors
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers.
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_feature_rows(
+        cls,
+        rows: Iterable[Sequence[int]],
+        device_type: Optional[str] = None,
+        device_mac: Optional[str] = None,
+        deduplicate: bool = True,
+    ) -> "Fingerprint":
+        """Build a fingerprint from raw feature rows.
+
+        When ``deduplicate`` is True (the default, matching the paper),
+        consecutive identical rows are collapsed into one.
+        """
+        matrix = np.asarray(list(rows), dtype=np.int64)
+        if matrix.size == 0:
+            matrix = matrix.reshape(0, FEATURE_COUNT)
+        if deduplicate and len(matrix) > 1:
+            keep = np.ones(len(matrix), dtype=bool)
+            keep[1:] = np.any(matrix[1:] != matrix[:-1], axis=1)
+            matrix = matrix[keep]
+        return cls(vectors=matrix, device_type=device_type, device_mac=device_mac)
+
+    @classmethod
+    def from_packets(
+        cls,
+        packets: Sequence[Packet],
+        device_type: Optional[str] = None,
+        device_mac: Optional[str] = None,
+    ) -> "Fingerprint":
+        """Extract a fingerprint from an ordered packet sequence.
+
+        The packets must all originate from the device being fingerprinted;
+        use :func:`repro.features.session.split_by_source` to separate a
+        mixed capture by source MAC first.
+        """
+        extractor = PacketFeatureExtractor()
+        rows = extractor.extract_all(packets)
+        return cls.from_feature_rows(rows, device_type=device_type, device_mac=device_mac)
+
+    # ------------------------------------------------------------------ #
+    # Views.
+    # ------------------------------------------------------------------ #
+    @property
+    def packet_count(self) -> int:
+        """Number of packet columns in F (after consecutive deduplication)."""
+        return int(self.vectors.shape[0])
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The paper's ``23 x n`` orientation of the fingerprint."""
+        return self.vectors.T
+
+    def unique_vectors(self) -> np.ndarray:
+        """The unique packet vectors of F, in order of first appearance."""
+        seen: set[tuple[int, ...]] = set()
+        rows = []
+        for row in self.vectors:
+            key = tuple(int(value) for value in row)
+            if key in seen:
+                continue
+            seen.add(key)
+            rows.append(row)
+        if not rows:
+            return np.zeros((0, FEATURE_COUNT), dtype=np.int64)
+        return np.stack(rows)
+
+    def to_fixed_vector(self, packet_count: int = FIXED_PACKET_COUNT) -> np.ndarray:
+        """Produce the fixed-length fingerprint F'.
+
+        The first ``packet_count`` unique packet vectors are concatenated;
+        if fewer unique vectors exist the result is zero padded, exactly as
+        described in Sect. IV-A of the paper.
+        """
+        if packet_count <= 0:
+            raise FingerprintError(f"packet_count must be positive, got {packet_count}")
+        unique = self.unique_vectors()[:packet_count]
+        fixed = np.zeros(packet_count * FEATURE_COUNT, dtype=np.int64)
+        if len(unique):
+            flat = unique.reshape(-1)
+            fixed[: len(flat)] = flat
+        return fixed
+
+    def as_symbol_sequence(self) -> list[tuple[int, ...]]:
+        """The fingerprint as a "word" whose characters are packet columns.
+
+        This is the representation used for Damerau-Levenshtein edit
+        distance in the discrimination stage: two characters are equal when
+        *all* 23 features of the two packets are equal.
+        """
+        return [tuple(int(value) for value in row) for row in self.vectors]
+
+    def __len__(self) -> int:
+        return self.packet_count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fingerprint):
+            return NotImplemented
+        return (
+            self.device_type == other.device_type
+            and self.vectors.shape == other.vectors.shape
+            and bool(np.all(self.vectors == other.vectors))
+        )
+
+    def __repr__(self) -> str:
+        label = self.device_type or "unlabelled"
+        return f"Fingerprint(type={label!r}, packets={self.packet_count})"
+
+
+def fingerprint_from_packets(
+    packets: Sequence[Packet],
+    device_type: Optional[str] = None,
+    device_mac: Optional[str] = None,
+) -> Fingerprint:
+    """Convenience wrapper around :meth:`Fingerprint.from_packets`."""
+    return Fingerprint.from_packets(packets, device_type=device_type, device_mac=device_mac)

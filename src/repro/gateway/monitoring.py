@@ -1,0 +1,87 @@
+"""Device monitoring: capturing the setup traffic of newly seen devices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.features.fingerprint import Fingerprint
+from repro.features.session import SetupPhaseDetector
+from repro.net.addresses import MACAddress
+from repro.net.packet import Packet
+
+
+@dataclass
+class _MonitoredDevice:
+    """Accumulated setup packets of one device still being profiled."""
+
+    mac: MACAddress
+    packets: list[Packet] = field(default_factory=list)
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+    finished: bool = False
+
+
+@dataclass
+class DeviceMonitor:
+    """Watches traffic for unknown MAC addresses and buffers their setup packets.
+
+    A device's setup capture is considered complete when either the packet
+    budget is exhausted or the device goes quiet for ``idle_timeout``
+    seconds, mirroring the "decrease in the rate of packets sent" criterion
+    of Sect. IV-A.  Completed captures are turned into fingerprints the
+    gateway sends to the IoT Security Service.
+    """
+
+    max_packets: int = 250
+    idle_timeout: float = 15.0
+    detector: SetupPhaseDetector = field(default_factory=SetupPhaseDetector)
+    _devices: dict[MACAddress, _MonitoredDevice] = field(default_factory=dict)
+
+    def is_monitoring(self, mac: MACAddress) -> bool:
+        """True when the device's setup phase is still being captured."""
+        device = self._devices.get(mac)
+        return device is not None and not device.finished
+
+    def packet_count(self, mac: MACAddress) -> int:
+        device = self._devices.get(mac)
+        return len(device.packets) if device else 0
+
+    def observe(self, packet: Packet) -> Optional[Fingerprint]:
+        """Feed one packet; returns a fingerprint when the capture completes."""
+        mac = packet.src_mac
+        device = self._devices.get(mac)
+        if device is None:
+            device = _MonitoredDevice(mac=mac, first_seen=packet.timestamp, last_seen=packet.timestamp)
+            self._devices[mac] = device
+        if device.finished:
+            return None
+
+        if packet.timestamp - device.last_seen > self.idle_timeout and device.packets:
+            return self._finalize(device)
+
+        device.packets.append(packet)
+        device.last_seen = packet.timestamp
+        if len(device.packets) >= self.max_packets:
+            return self._finalize(device)
+        return None
+
+    def finalize(self, mac: MACAddress) -> Optional[Fingerprint]:
+        """Force completion of a device's capture (e.g. on an idle timer)."""
+        device = self._devices.get(mac)
+        if device is None or device.finished or not device.packets:
+            return None
+        return self._finalize(device)
+
+    def _finalize(self, device: _MonitoredDevice) -> Fingerprint:
+        device.finished = True
+        setup_packets = self.detector.setup_slice(device.packets)
+        return Fingerprint.from_packets(setup_packets, device_mac=str(device.mac))
+
+    def forget(self, mac: MACAddress) -> None:
+        """Discard monitoring state of a device (it left the network)."""
+        self._devices.pop(mac, None)
+
+    @property
+    def monitored_devices(self) -> list[MACAddress]:
+        return [mac for mac, device in self._devices.items() if not device.finished]

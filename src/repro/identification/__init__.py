@@ -1,0 +1,13 @@
+"""Two-stage device-type identification (Sect. IV-B of the paper)."""
+
+from repro.identification.classifier_bank import ClassifierBank, DeviceTypeClassifier
+from repro.identification.identifier import DeviceTypeIdentifier, IdentificationResult
+from repro.identification.registry import FingerprintRegistry
+
+__all__ = [
+    "ClassifierBank",
+    "DeviceTypeClassifier",
+    "DeviceTypeIdentifier",
+    "IdentificationResult",
+    "FingerprintRegistry",
+]

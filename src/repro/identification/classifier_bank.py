@@ -1,0 +1,178 @@
+"""One binary Random Forest classifier per device-type.
+
+The paper's first identification stage trains, for every known device-type
+``D_i``, a classifier ``C_i`` that answers "does this fingerprint belong to
+``D_i``?".  All fingerprints of ``D_i`` form the positive class; a random
+subsample of ``10 x n`` fingerprints of other types forms the negative
+class (to avoid imbalanced-class learning issues).  New device-types can be
+added without retraining the existing classifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import IdentificationError
+from repro.features.fingerprint import FIXED_PACKET_COUNT, Fingerprint
+from repro.identification.registry import FingerprintRegistry
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.sampling import negative_subsample
+
+NEGATIVE_LABEL = 0
+POSITIVE_LABEL = 1
+
+
+@dataclass
+class DeviceTypeClassifier:
+    """The binary accept/reject classifier of a single device-type."""
+
+    device_type: str
+    model: RandomForestClassifier
+    positive_count: int = 0
+    negative_count: int = 0
+
+    def accepts(self, fixed_vector: np.ndarray) -> bool:
+        """True when the classifier predicts the fingerprint matches its type."""
+        prediction = self.model.predict(np.atleast_2d(fixed_vector))[0]
+        return int(prediction) == POSITIVE_LABEL
+
+    def acceptance_probability(self, fixed_vector: np.ndarray) -> float:
+        """The forest's probability that the fingerprint matches its type."""
+        probabilities = self.model.predict_proba(np.atleast_2d(fixed_vector))[0]
+        classes = list(self.model.classes_)
+        if POSITIVE_LABEL not in classes:
+            return 0.0
+        return float(probabilities[classes.index(POSITIVE_LABEL)])
+
+
+@dataclass
+class ClassifierBank:
+    """The collection of per-device-type classifiers.
+
+    Attributes:
+        negative_ratio: negative-to-positive sample ratio (10 in the paper).
+        n_estimators: trees per Random Forest.
+        max_depth: optional per-tree depth limit.
+        fixed_packet_count: number of packets in the fixed fingerprint F'.
+        random_state: seed controlling negative subsampling and forests.
+    """
+
+    negative_ratio: float = 10.0
+    n_estimators: int = 10
+    max_depth: Optional[int] = None
+    fixed_packet_count: int = FIXED_PACKET_COUNT
+    random_state: Optional[int] = None
+
+    _classifiers: dict[str, DeviceTypeClassifier] = field(default_factory=dict)
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.random_state)
+
+    # ------------------------------------------------------------------ #
+    # Training.
+    # ------------------------------------------------------------------ #
+    def train_type(
+        self,
+        device_type: str,
+        positives: Sequence[Fingerprint],
+        negatives: Sequence[Fingerprint],
+    ) -> DeviceTypeClassifier:
+        """Train (or retrain) the classifier of one device-type.
+
+        Only this type's classifier is touched; the paper highlights that
+        adding a new device-type never requires relearning existing models.
+        """
+        if not positives:
+            raise IdentificationError(f"no positive fingerprints for type {device_type!r}")
+        if not negatives:
+            raise IdentificationError(f"no negative fingerprints for type {device_type!r}")
+
+        chosen_negative_indices = negative_subsample(
+            range(len(negatives)), len(positives), ratio=self.negative_ratio, rng=self._rng
+        )
+        chosen_negatives = [negatives[int(index)] for index in chosen_negative_indices]
+
+        positive_matrix = np.stack(
+            [fingerprint.to_fixed_vector(self.fixed_packet_count) for fingerprint in positives]
+        )
+        negative_matrix = np.stack(
+            [
+                fingerprint.to_fixed_vector(self.fixed_packet_count)
+                for fingerprint in chosen_negatives
+            ]
+        )
+        X = np.vstack([positive_matrix, negative_matrix]).astype(np.float64)
+        y = np.concatenate(
+            [
+                np.full(len(positive_matrix), POSITIVE_LABEL),
+                np.full(len(negative_matrix), NEGATIVE_LABEL),
+            ]
+        )
+        model = RandomForestClassifier(
+            n_estimators=self.n_estimators,
+            max_depth=self.max_depth,
+            random_state=int(self._rng.integers(0, 2**31 - 1)),
+        )
+        model.fit(X, y)
+        classifier = DeviceTypeClassifier(
+            device_type=device_type,
+            model=model,
+            positive_count=len(positive_matrix),
+            negative_count=len(negative_matrix),
+        )
+        self._classifiers[device_type] = classifier
+        return classifier
+
+    def train_from_registry(self, registry: FingerprintRegistry) -> None:
+        """Train one classifier per device-type present in the registry."""
+        if not registry.device_types:
+            raise IdentificationError("the fingerprint registry is empty")
+        for device_type in registry.device_types:
+            self.train_type(
+                device_type,
+                registry.fingerprints_of(device_type),
+                registry.fingerprints_excluding(device_type),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Queries.
+    # ------------------------------------------------------------------ #
+    @property
+    def device_types(self) -> list[str]:
+        return sorted(self._classifiers)
+
+    def __len__(self) -> int:
+        return len(self._classifiers)
+
+    def __contains__(self, device_type: object) -> bool:
+        return device_type in self._classifiers
+
+    def classifier_of(self, device_type: str) -> DeviceTypeClassifier:
+        if device_type not in self._classifiers:
+            raise IdentificationError(f"no classifier trained for type {device_type!r}")
+        return self._classifiers[device_type]
+
+    def remove_type(self, device_type: str) -> None:
+        """Drop the classifier of a device-type (e.g. a retired model)."""
+        self._classifiers.pop(device_type, None)
+
+    def matching_types(self, fingerprint: Fingerprint) -> list[str]:
+        """Every device-type whose classifier accepts the fingerprint."""
+        fixed = fingerprint.to_fixed_vector(self.fixed_packet_count)
+        return [
+            device_type
+            for device_type, classifier in sorted(self._classifiers.items())
+            if classifier.accepts(fixed)
+        ]
+
+    def acceptance_probabilities(self, fingerprint: Fingerprint) -> dict[str, float]:
+        """Per-type acceptance probabilities (useful for diagnostics)."""
+        fixed = fingerprint.to_fixed_vector(self.fixed_packet_count)
+        return {
+            device_type: classifier.acceptance_probability(fixed)
+            for device_type, classifier in sorted(self._classifiers.items())
+        }

@@ -1,0 +1,123 @@
+"""Simple baseline classifiers used for comparison and ablation experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+@dataclass
+class MajorityClassClassifier:
+    """Predicts the most frequent training class for every input."""
+
+    majority_: Optional[object] = field(default=None, repr=False)
+    classes_: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MajorityClassClassifier":
+        y = np.asarray(y)
+        if len(y) == 0:
+            raise ModelError("cannot fit on an empty dataset")
+        self.classes_, counts = np.unique(y, return_counts=True)
+        self.majority_ = self.classes_[int(np.argmax(counts))]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.majority_ is None:
+            raise ModelError("predict called before fit")
+        return np.full(len(np.atleast_2d(X)), self.majority_, dtype=object)
+
+
+@dataclass
+class GaussianNaiveBayes:
+    """Gaussian naive Bayes classifier.
+
+    Related work (Franklin et al., USENIX Security 2006) classified WiFi
+    drivers with a Bayesian approach; this baseline lets the evaluation
+    compare the paper's Random-Forest pipeline against that family.
+    """
+
+    var_smoothing: float = 1e-6
+
+    classes_: Optional[np.ndarray] = field(default=None, repr=False)
+    means_: Optional[np.ndarray] = field(default=None, repr=False)
+    variances_: Optional[np.ndarray] = field(default=None, repr=False)
+    priors_: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNaiveBayes":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if len(X) != len(y) or len(X) == 0:
+            raise ModelError("invalid training data for GaussianNaiveBayes")
+        self.classes_ = np.unique(y)
+        self.means_ = np.zeros((len(self.classes_), X.shape[1]))
+        self.variances_ = np.zeros_like(self.means_)
+        self.priors_ = np.zeros(len(self.classes_))
+        for index, label in enumerate(self.classes_):
+            members = X[y == label]
+            self.means_[index] = members.mean(axis=0)
+            self.variances_[index] = members.var(axis=0) + self.var_smoothing
+            self.priors_[index] = len(members) / len(X)
+        return self
+
+    def predict_log_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise ModelError("predict called before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        log_probabilities = np.zeros((len(X), len(self.classes_)))
+        for index in range(len(self.classes_)):
+            log_likelihood = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self.variances_[index])
+                + ((X - self.means_[index]) ** 2) / self.variances_[index],
+                axis=1,
+            )
+            log_probabilities[:, index] = np.log(self.priors_[index]) + log_likelihood
+        return log_probabilities
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_log_proba(X), axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+
+@dataclass
+class KNeighborsClassifier:
+    """k-nearest-neighbours classifier with Euclidean distance."""
+
+    n_neighbors: int = 5
+
+    X_: Optional[np.ndarray] = field(default=None, repr=False)
+    y_: Optional[np.ndarray] = field(default=None, repr=False)
+    classes_: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if self.n_neighbors <= 0:
+            raise ModelError("n_neighbors must be positive")
+        if len(X) != len(y) or len(X) == 0:
+            raise ModelError("invalid training data for KNeighborsClassifier")
+        self.X_ = X
+        self.y_ = y
+        self.classes_ = np.unique(y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.X_ is None:
+            raise ModelError("predict called before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        k = min(self.n_neighbors, len(self.X_))
+        predictions = np.empty(len(X), dtype=self.y_.dtype)
+        for index, row in enumerate(X):
+            distances = np.sum((self.X_ - row) ** 2, axis=1)
+            nearest = np.argpartition(distances, k - 1)[:k]
+            labels, counts = np.unique(self.y_[nearest], return_counts=True)
+            predictions[index] = labels[int(np.argmax(counts))]
+        return predictions
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y)))

@@ -1,0 +1,102 @@
+"""Classification metrics: accuracy, confusion matrix, precision/recall/F1."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+def _validate(y_true: Sequence, y_pred: Sequence) -> tuple[np.ndarray, np.ndarray]:
+    true = np.asarray(y_true)
+    pred = np.asarray(y_pred)
+    if len(true) != len(pred):
+        raise ModelError(f"y_true and y_pred disagree on length: {len(true)} vs {len(pred)}")
+    if len(true) == 0:
+        raise ModelError("metrics require at least one sample")
+    return true, pred
+
+
+def accuracy_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of predictions equal to the ground truth."""
+    true, pred = _validate(y_true, y_pred)
+    return float(np.mean(true == pred))
+
+
+def confusion_matrix(
+    y_true: Sequence, y_pred: Sequence, labels: Optional[Sequence] = None
+) -> tuple[np.ndarray, list]:
+    """Confusion matrix ``M[i, j]`` = count of true label i predicted as j.
+
+    Returns the matrix and the label order used for its rows/columns.
+    Labels appearing only in predictions (e.g. the "unknown" pseudo-type)
+    are included after the true labels.
+    """
+    true, pred = _validate(y_true, y_pred)
+    if labels is None:
+        label_list = sorted(set(true.tolist()) | set(pred.tolist()), key=str)
+    else:
+        label_list = list(labels)
+    index = {label: position for position, label in enumerate(label_list)}
+    matrix = np.zeros((len(label_list), len(label_list)), dtype=np.int64)
+    for actual, predicted in zip(true.tolist(), pred.tolist()):
+        if actual in index and predicted in index:
+            matrix[index[actual], index[predicted]] += 1
+    return matrix, label_list
+
+
+def per_class_accuracy(y_true: Sequence, y_pred: Sequence) -> dict:
+    """Ratio of correct identification per true class (Fig. 5 of the paper)."""
+    true, pred = _validate(y_true, y_pred)
+    result: dict = {}
+    for label in sorted(set(true.tolist()), key=str):
+        mask = true == label
+        result[label] = float(np.mean(pred[mask] == label))
+    return result
+
+
+def precision_score(y_true: Sequence, y_pred: Sequence, label) -> float:
+    """Precision of ``label``: TP / (TP + FP).  Returns 0 when never predicted."""
+    true, pred = _validate(y_true, y_pred)
+    predicted_positive = pred == label
+    if not np.any(predicted_positive):
+        return 0.0
+    return float(np.mean(true[predicted_positive] == label))
+
+
+def recall_score(y_true: Sequence, y_pred: Sequence, label) -> float:
+    """Recall of ``label``: TP / (TP + FN).  Returns 0 when label never occurs."""
+    true, pred = _validate(y_true, y_pred)
+    actual_positive = true == label
+    if not np.any(actual_positive):
+        return 0.0
+    return float(np.mean(pred[actual_positive] == label))
+
+
+def f1_score(y_true: Sequence, y_pred: Sequence, label) -> float:
+    """Harmonic mean of precision and recall for ``label``."""
+    precision = precision_score(y_true, y_pred, label)
+    recall = recall_score(y_true, y_pred, label)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def classification_report(y_true: Sequence, y_pred: Sequence) -> str:
+    """A plain-text per-class precision/recall/F1 report."""
+    true, _ = _validate(y_true, y_pred)
+    labels = sorted(set(true.tolist()), key=str)
+    width = max(len(str(label)) for label in labels)
+    lines = [f"{'label'.ljust(width)}  precision  recall  f1      support"]
+    for label in labels:
+        support = int(np.sum(np.asarray(y_true) == label))
+        lines.append(
+            f"{str(label).ljust(width)}  "
+            f"{precision_score(y_true, y_pred, label):9.3f}  "
+            f"{recall_score(y_true, y_pred, label):6.3f}  "
+            f"{f1_score(y_true, y_pred, label):6.3f}  {support:7d}"
+        )
+    lines.append(f"{'accuracy'.ljust(width)}  {accuracy_score(y_true, y_pred):9.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""CART decision tree classifier (Gini impurity, numeric features)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+@dataclass
+class _Node:
+    """A single tree node; leaves carry class-probability vectors."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    probabilities: Optional[np.ndarray] = None
+    n_samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini_from_counts(counts: np.ndarray, totals: np.ndarray) -> np.ndarray:
+    """Gini impurity for rows of class counts with the given row totals."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        proportions = counts / totals[:, None]
+        impurity = 1.0 - np.sum(proportions**2, axis=1)
+    impurity[totals == 0] = 0.0
+    return impurity
+
+
+@dataclass
+class DecisionTreeClassifier:
+    """A CART classification tree.
+
+    Splits are exact threshold splits (``x <= t``) chosen to minimise the
+    weighted Gini impurity of the children.  ``max_features`` limits the
+    number of candidate features examined per node, which is how the Random
+    Forest injects feature randomness.
+
+    Attributes:
+        max_depth: maximum tree depth (None means unbounded).
+        min_samples_split: do not split nodes smaller than this.
+        min_samples_leaf: minimum samples required in each child.
+        max_features: number of features considered per split; ``"sqrt"``,
+            ``"log2"``, an int, a float fraction, or None for all features.
+        random_state: seed for the per-node feature subsampling.
+    """
+
+    max_depth: Optional[int] = None
+    min_samples_split: int = 2
+    min_samples_leaf: int = 1
+    max_features: Union[str, int, float, None] = None
+    random_state: Optional[int] = None
+
+    _root: Optional[_Node] = field(default=None, repr=False, compare=False)
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False, compare=False)
+    classes_: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    n_features_: int = field(default=0, repr=False, compare=False)
+    node_count_: int = field(default=0, repr=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    # Fitting.
+    # ------------------------------------------------------------------ #
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Fit the tree on samples ``X`` (n, d) and labels ``y`` (n,)."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ModelError(f"X must be 2-dimensional, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ModelError(f"X and y disagree on sample count: {len(X)} vs {len(y)}")
+        if len(X) == 0:
+            raise ModelError("cannot fit a tree on an empty dataset")
+
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        self.n_features_ = X.shape[1]
+        self._rng = np.random.default_rng(self.random_state)
+        self.node_count_ = 0
+        self._root = self._build(X, encoded.astype(np.int64), depth=0)
+        return self
+
+    def _resolve_max_features(self) -> int:
+        if self.max_features is None:
+            return self.n_features_
+        if isinstance(self.max_features, str):
+            if self.max_features == "sqrt":
+                return max(1, int(math.sqrt(self.n_features_)))
+            if self.max_features == "log2":
+                return max(1, int(math.log2(self.n_features_)))
+            raise ModelError(f"unknown max_features value: {self.max_features!r}")
+        if isinstance(self.max_features, float):
+            return max(1, min(self.n_features_, int(self.max_features * self.n_features_)))
+        return max(1, min(self.n_features_, int(self.max_features)))
+
+    def _leaf(self, y: np.ndarray) -> _Node:
+        counts = np.bincount(y, minlength=len(self.classes_)).astype(np.float64)
+        self.node_count_ += 1
+        return _Node(probabilities=counts / counts.sum(), n_samples=len(y))
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        n_samples = len(y)
+        if (
+            n_samples < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or len(np.unique(y)) == 1
+        ):
+            return self._leaf(y)
+
+        feature, threshold = self._best_split(X, y)
+        if feature < 0:
+            return self._leaf(y)
+
+        mask = X[:, feature] <= threshold
+        left_count = int(mask.sum())
+        if left_count < self.min_samples_leaf or n_samples - left_count < self.min_samples_leaf:
+            return self._leaf(y)
+
+        node = _Node(feature=feature, threshold=threshold, n_samples=n_samples)
+        self.node_count_ += 1
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float]:
+        n_samples = len(y)
+        n_classes = len(self.classes_)
+        n_candidates = self._resolve_max_features()
+        if n_candidates < self.n_features_:
+            candidates = self._rng.choice(self.n_features_, size=n_candidates, replace=False)
+        else:
+            candidates = np.arange(self.n_features_)
+
+        one_hot = np.zeros((n_samples, n_classes), dtype=np.float64)
+        one_hot[np.arange(n_samples), y] = 1.0
+
+        best_feature = -1
+        best_threshold = 0.0
+        best_impurity = np.inf
+        min_leaf = self.min_samples_leaf
+
+        for feature in candidates:
+            values = X[:, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            cumulative = np.cumsum(one_hot[order], axis=0)
+
+            # Candidate split positions: between consecutive distinct values.
+            boundaries = np.nonzero(sorted_values[1:] != sorted_values[:-1])[0]
+            if len(boundaries) == 0:
+                continue
+            left_sizes = boundaries + 1
+            valid = (left_sizes >= min_leaf) & (n_samples - left_sizes >= min_leaf)
+            if not np.any(valid):
+                continue
+            boundaries = boundaries[valid]
+            left_sizes = left_sizes[valid]
+
+            left_counts = cumulative[boundaries]
+            right_counts = cumulative[-1] - left_counts
+            right_sizes = n_samples - left_sizes
+
+            left_gini = _gini_from_counts(left_counts, left_sizes.astype(np.float64))
+            right_gini = _gini_from_counts(right_counts, right_sizes.astype(np.float64))
+            weighted = (left_sizes * left_gini + right_sizes * right_gini) / n_samples
+
+            index = int(np.argmin(weighted))
+            if weighted[index] < best_impurity - 1e-12:
+                best_impurity = float(weighted[index])
+                best_feature = int(feature)
+                position = boundaries[index]
+                best_threshold = float((sorted_values[position] + sorted_values[position + 1]) / 2.0)
+
+        return best_feature, best_threshold
+
+    # ------------------------------------------------------------------ #
+    # Prediction.
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability estimates, shape ``(n, n_classes)``."""
+        if self._root is None or self.classes_ is None:
+            raise ModelError("DecisionTreeClassifier.predict_proba called before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self.n_features_:
+            raise ModelError(
+                f"feature count mismatch: model has {self.n_features_}, input has {X.shape[1]}"
+            )
+        output = np.empty((len(X), len(self.classes_)), dtype=np.float64)
+        for index, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            output[index] = node.probabilities
+        return output
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on the given test data."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    @property
+    def depth(self) -> int:
+        """The depth of the fitted tree (0 for a single leaf)."""
+        if self._root is None:
+            raise ModelError("tree is not fitted")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def feature_importances(self) -> np.ndarray:
+        """Split-count based feature importances (normalised to sum to 1)."""
+        if self._root is None:
+            raise ModelError("tree is not fitted")
+        counts = np.zeros(self.n_features_, dtype=np.float64)
+
+        def walk(node: _Node) -> None:
+            if node.is_leaf:
+                return
+            counts[node.feature] += node.n_samples
+            walk(node.left)
+            walk(node.right)
+
+        walk(self._root)
+        total = counts.sum()
+        return counts / total if total > 0 else counts

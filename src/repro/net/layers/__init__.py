@@ -1,0 +1,48 @@
+"""Protocol layer dissectors and builders.
+
+Every layer is a small dataclass with a ``to_bytes`` method and a
+``from_bytes`` classmethod implementing the wire format.  Only the fields
+needed by the IoT SENTINEL feature extractor (Table I of the paper) and by
+the traffic simulator are modelled, but serialisation round-trips exactly.
+"""
+
+from repro.net.layers.arp import ARPPacket
+from repro.net.layers.dhcp import DHCPMessage, DHCPOption
+from repro.net.layers.dns import DNSMessage, DNSQuestion, DNSResourceRecord
+from repro.net.layers.eapol import EAPOLFrame
+from repro.net.layers.ethernet import ETHERTYPE, EthernetFrame
+from repro.net.layers.http import HTTPMessage
+from repro.net.layers.icmp import ICMPMessage
+from repro.net.layers.icmpv6 import ICMPv6Message
+from repro.net.layers.ipv4 import IPOption, IPv4Header
+from repro.net.layers.ipv6 import IPv6Header
+from repro.net.layers.llc import LLCHeader
+from repro.net.layers.ntp import NTPMessage
+from repro.net.layers.ssdp import SSDPMessage
+from repro.net.layers.tcp import TCPSegment
+from repro.net.layers.tls import TLSRecord
+from repro.net.layers.udp import UDPDatagram
+
+__all__ = [
+    "ARPPacket",
+    "DHCPMessage",
+    "DHCPOption",
+    "DNSMessage",
+    "DNSQuestion",
+    "DNSResourceRecord",
+    "EAPOLFrame",
+    "ETHERTYPE",
+    "EthernetFrame",
+    "HTTPMessage",
+    "ICMPMessage",
+    "ICMPv6Message",
+    "IPOption",
+    "IPv4Header",
+    "IPv6Header",
+    "LLCHeader",
+    "NTPMessage",
+    "SSDPMessage",
+    "TCPSegment",
+    "TLSRecord",
+    "UDPDatagram",
+]

@@ -1,0 +1,24 @@
+"""Software-defined networking substrate (Open vSwitch + Floodlight stand-in).
+
+The paper's Security Gateway is built from Open vSwitch managed by a custom
+module running in the Floodlight SDN controller.  This subpackage models
+the pieces of that stack the enforcement mechanism exercises: an
+OpenFlow-style match/action rule language, a software switch with a
+priority-ordered flow table and packet-in handling, and a controller that
+hosts pluggable modules receiving packet-in events.
+"""
+
+from repro.sdn.openflow import FlowAction, FlowMatch, FlowRule
+from repro.sdn.switch import ForwardingDecision, OpenVSwitch, SwitchPort
+from repro.sdn.controller import ControllerModule, SdnController
+
+__all__ = [
+    "FlowAction",
+    "FlowMatch",
+    "FlowRule",
+    "OpenVSwitch",
+    "SwitchPort",
+    "ForwardingDecision",
+    "SdnController",
+    "ControllerModule",
+]

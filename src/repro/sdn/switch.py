@@ -1,0 +1,137 @@
+"""A software switch with a priority-ordered flow table (Open vSwitch stand-in)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.exceptions import SdnError
+from repro.net.addresses import MACAddress
+from repro.net.packet import Packet
+from repro.sdn.openflow import FlowAction, FlowRule
+
+
+class SwitchPort(str, enum.Enum):
+    """The logical ports of the Security Gateway switch (Fig. 1)."""
+
+    WIFI = "wifi"
+    ETHERNET = "eth0"
+    UPLINK = "uplink"
+    LOCAL = "local"
+
+
+@dataclass(frozen=True)
+class ForwardingDecision:
+    """The outcome of processing one packet through the switch."""
+
+    action: FlowAction
+    rule: Optional[FlowRule]
+    sent_to_controller: bool = False
+
+    @property
+    def forwarded(self) -> bool:
+        return self.action == FlowAction.FORWARD
+
+    @property
+    def dropped(self) -> bool:
+        return self.action == FlowAction.DROP
+
+
+@dataclass
+class OpenVSwitch:
+    """A minimal Open vSwitch model: flow table, packet-in, statistics.
+
+    Packets are matched against the flow table in priority order (ties
+    broken by match specificity).  Misses are handed to the controller's
+    packet-in handler when one is registered, otherwise the
+    ``default_action`` applies.
+    """
+
+    name: str = "ovs-br0"
+    default_action: FlowAction = FlowAction.FORWARD
+    rules: list[FlowRule] = field(default_factory=list)
+    packet_in_handler: Optional[Callable[[Packet, "OpenVSwitch"], Optional[FlowAction]]] = None
+
+    packets_processed: int = 0
+    packets_dropped: int = 0
+    packets_to_controller: int = 0
+    port_of_device: dict[MACAddress, SwitchPort] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Flow table management.
+    # ------------------------------------------------------------------ #
+    def install_rule(self, rule: FlowRule) -> None:
+        """Install a rule, keeping the table sorted by descending priority."""
+        self.rules.append(rule)
+        self.rules.sort(key=lambda entry: (entry.priority, entry.match.specificity), reverse=True)
+
+    def remove_rules(self, cookie: str) -> int:
+        """Remove every rule carrying ``cookie``; returns the removal count."""
+        if not cookie:
+            raise SdnError("a non-empty cookie is required to remove rules")
+        before = len(self.rules)
+        self.rules = [rule for rule in self.rules if rule.cookie != cookie]
+        return before - len(self.rules)
+
+    def flush(self) -> None:
+        """Drop the entire flow table."""
+        self.rules.clear()
+
+    @property
+    def rule_count(self) -> int:
+        return len(self.rules)
+
+    # ------------------------------------------------------------------ #
+    # Port learning (which devices sit behind which interface).
+    # ------------------------------------------------------------------ #
+    def learn_port(self, mac: MACAddress, port: SwitchPort) -> None:
+        self.port_of_device[mac] = port
+
+    def port_of(self, mac: MACAddress) -> Optional[SwitchPort]:
+        return self.port_of_device.get(mac)
+
+    # ------------------------------------------------------------------ #
+    # Datapath.
+    # ------------------------------------------------------------------ #
+    def lookup(self, packet: Packet) -> Optional[FlowRule]:
+        """Find the highest-priority rule matching the packet, if any."""
+        for rule in self.rules:
+            if rule.match.matches_packet(packet):
+                return rule
+        return None
+
+    def process(self, packet: Packet, ingress_port: Optional[SwitchPort] = None) -> ForwardingDecision:
+        """Process one packet: match, apply the action, update statistics."""
+        self.packets_processed += 1
+        if ingress_port is not None:
+            self.learn_port(packet.src_mac, ingress_port)
+
+        rule = self.lookup(packet)
+        if rule is not None:
+            rule.record_hit()
+            action = rule.action
+            sent_to_controller = False
+            if action == FlowAction.SEND_TO_CONTROLLER:
+                action = self._ask_controller(packet)
+                sent_to_controller = True
+            if action == FlowAction.DROP:
+                self.packets_dropped += 1
+            return ForwardingDecision(action=action, rule=rule, sent_to_controller=sent_to_controller)
+
+        if self.packet_in_handler is not None:
+            action = self._ask_controller(packet)
+            if action == FlowAction.DROP:
+                self.packets_dropped += 1
+            return ForwardingDecision(action=action, rule=None, sent_to_controller=True)
+
+        if self.default_action == FlowAction.DROP:
+            self.packets_dropped += 1
+        return ForwardingDecision(action=self.default_action, rule=None)
+
+    def _ask_controller(self, packet: Packet) -> FlowAction:
+        self.packets_to_controller += 1
+        if self.packet_in_handler is None:
+            return self.default_action
+        decision = self.packet_in_handler(packet, self)
+        return decision if decision is not None else self.default_action

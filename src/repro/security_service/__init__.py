@@ -1,0 +1,25 @@
+"""The IoT Security Service (IoTSSP) of the paper's system design.
+
+The service receives device fingerprints from Security Gateways, identifies
+the device-type with the two-stage classification pipeline, assesses the
+type's vulnerability using a CVE-like repository and returns the isolation
+level the gateway must enforce (Sect. III-B).
+"""
+
+from repro.security_service.isolation import IsolationLevel, isolation_level_for
+from repro.security_service.service import IoTSecurityService, SecurityAssessment
+from repro.security_service.vulnerability import (
+    VulnerabilityDatabase,
+    VulnerabilityRecord,
+    build_default_database,
+)
+
+__all__ = [
+    "IsolationLevel",
+    "isolation_level_for",
+    "IoTSecurityService",
+    "SecurityAssessment",
+    "VulnerabilityDatabase",
+    "VulnerabilityRecord",
+    "build_default_database",
+]

@@ -1,0 +1,46 @@
+"""Isolation levels and the policy mapping vulnerability findings to them."""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+
+class IsolationLevel(str, enum.Enum):
+    """The three isolation levels of Fig. 3.
+
+    * ``STRICT``: the device may only talk to other devices inside the
+      untrusted network overlay; no Internet access.  Applied to unknown
+      device-types.
+    * ``RESTRICTED``: untrusted overlay plus a limited set of remote
+      destinations (typically the vendor cloud).  Applied to device-types
+      with known vulnerabilities.
+    * ``TRUSTED``: full access to the trusted overlay and the Internet.
+      Applied to device-types without known vulnerabilities.
+    """
+
+    STRICT = "strict"
+    RESTRICTED = "restricted"
+    TRUSTED = "trusted"
+
+    @property
+    def allows_internet(self) -> bool:
+        return self is not IsolationLevel.STRICT
+
+    @property
+    def allows_trusted_overlay(self) -> bool:
+        return self is IsolationLevel.TRUSTED
+
+
+def isolation_level_for(device_type_known: bool, vulnerabilities: Sequence) -> IsolationLevel:
+    """The paper's assignment policy (Sect. III-B).
+
+    Unknown device-types get ``STRICT``; known types with at least one
+    vulnerability report get ``RESTRICTED``; known clean types get
+    ``TRUSTED``.
+    """
+    if not device_type_known:
+        return IsolationLevel.STRICT
+    if vulnerabilities:
+        return IsolationLevel.RESTRICTED
+    return IsolationLevel.TRUSTED

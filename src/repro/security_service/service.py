@@ -1,0 +1,122 @@
+"""The IoT Security Service: identification + vulnerability assessment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.devices.catalog import DEVICE_CATALOG
+from repro.devices.profiles import StepKind
+from repro.devices.simulator import LabEnvironment
+from repro.features.fingerprint import Fingerprint
+from repro.identification.identifier import DeviceTypeIdentifier, IdentificationResult
+from repro.security_service.isolation import IsolationLevel, isolation_level_for
+from repro.security_service.vulnerability import (
+    VulnerabilityDatabase,
+    VulnerabilityRecord,
+    build_default_database,
+)
+
+_CLOUD_STEP_KINDS = (
+    StepKind.HTTPS_CONNECT,
+    StepKind.HTTP_GET,
+    StepKind.HTTP_POST,
+    StepKind.TCP_CONNECT,
+    StepKind.UDP_SEND,
+    StepKind.NTP_SYNC,
+)
+
+
+def vendor_cloud_destinations(
+    device_type: str, environment: Optional[LabEnvironment] = None
+) -> tuple[str, ...]:
+    """The cloud endpoints a device-type legitimately needs to reach.
+
+    For the *restricted* isolation level the IoT Security Service hands the
+    Security Gateway the set of permitted remote addresses; this helper
+    derives them from the device's behaviour profile (the hosts it contacts
+    during setup), resolved through the same deterministic resolver the
+    traffic simulator uses.
+    """
+    if device_type not in DEVICE_CATALOG:
+        return ()
+    environment = environment or LabEnvironment()
+    hosts: list[str] = []
+    for step in DEVICE_CATALOG[device_type].steps:
+        if step.kind in _CLOUD_STEP_KINDS and step.target:
+            if step.target not in hosts:
+                hosts.append(step.target)
+    return tuple(environment.resolve(host) for host in hosts)
+
+
+@dataclass(frozen=True)
+class SecurityAssessment:
+    """The answer the service returns to a Security Gateway for one device."""
+
+    device_type: str
+    isolation_level: IsolationLevel
+    vulnerabilities: tuple[VulnerabilityRecord, ...] = ()
+    allowed_destinations: tuple[str, ...] = ()
+    identification: Optional[IdentificationResult] = None
+
+    @property
+    def is_unknown_device(self) -> bool:
+        return self.isolation_level is IsolationLevel.STRICT and not self.vulnerabilities
+
+
+@dataclass
+class IoTSecurityService:
+    """The cloud-side service combining identification and risk assessment.
+
+    The service is stateless with respect to its gateway clients, exactly as
+    the paper prescribes for privacy: it receives a fingerprint and returns
+    an assessment, storing nothing about who asked.
+
+    Attributes:
+        identifier: the trained two-stage device-type identifier.
+        vulnerability_db: the CVE-like repository consulted per type.
+        environment: resolver used to derive vendor-cloud destinations.
+    """
+
+    identifier: DeviceTypeIdentifier
+    vulnerability_db: VulnerabilityDatabase = field(default_factory=build_default_database)
+    environment: LabEnvironment = field(default_factory=LabEnvironment)
+    assessments_served: int = 0
+
+    def assess_fingerprint(self, fingerprint: Fingerprint) -> SecurityAssessment:
+        """Identify a fingerprint and derive the isolation level to enforce."""
+        result = self.identifier.identify(fingerprint)
+        return self._assess(result)
+
+    def assess_device_type(self, device_type: str) -> SecurityAssessment:
+        """Assessment for an already-known device-type (used for re-checks)."""
+        known = device_type in self.identifier.known_device_types
+        vulnerabilities = tuple(self.vulnerability_db.query(device_type)) if known else ()
+        level = isolation_level_for(known, vulnerabilities)
+        return self._build_assessment(device_type if known else "unknown", level, vulnerabilities, None)
+
+    def _assess(self, result: IdentificationResult) -> SecurityAssessment:
+        self.assessments_served += 1
+        if result.is_new_device_type:
+            return self._build_assessment(result.device_type, IsolationLevel.STRICT, (), result)
+        vulnerabilities = tuple(self.vulnerability_db.query(result.device_type))
+        level = isolation_level_for(True, vulnerabilities)
+        return self._build_assessment(result.device_type, level, vulnerabilities, result)
+
+    def _build_assessment(
+        self,
+        device_type: str,
+        level: IsolationLevel,
+        vulnerabilities: tuple[VulnerabilityRecord, ...],
+        result: Optional[IdentificationResult],
+    ) -> SecurityAssessment:
+        allowed: tuple[str, ...] = ()
+        if level is IsolationLevel.RESTRICTED:
+            allowed = vendor_cloud_destinations(device_type, self.environment)
+        return SecurityAssessment(
+            device_type=device_type,
+            isolation_level=level,
+            vulnerabilities=vulnerabilities,
+            allowed_destinations=allowed,
+            identification=result,
+        )

@@ -1,0 +1,92 @@
+"""Concurrent-flow workloads used by the enforcement evaluation (Fig. 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.net.addresses import MACAddress
+from repro.net.flow import FlowKey
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One active flow between a source device and a destination endpoint."""
+
+    source_mac: MACAddress
+    key: FlowKey
+
+    @property
+    def destination_ip(self) -> str:
+        return self.key.dst_ip
+
+
+@dataclass
+class ConcurrentFlowWorkload:
+    """Generates sets of concurrent flows crossing the Security Gateway.
+
+    The Fig. 6 experiments vary the number of concurrent flows between
+    devices in the network (and remote endpoints) and observe latency and
+    CPU utilisation.  This generator creates ``n`` distinct flows spread
+    over a pool of simulated devices, alternating between local
+    (device-to-device) and Internet-bound destinations.
+
+    Attributes:
+        device_count: number of devices in the simulated network.
+        local_ratio: fraction of flows that stay inside the local network.
+        subnet_prefix: IPv4 prefix of the local network.
+        seed: RNG seed.
+    """
+
+    device_count: int = 20
+    local_ratio: float = 0.5
+    subnet_prefix: str = "192.168.0"
+    seed: Optional[int] = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.device_count < 2:
+            raise SimulationError("the workload needs at least two devices")
+        if not 0.0 <= self.local_ratio <= 1.0:
+            raise SimulationError("local_ratio must lie in [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    def device_mac(self, index: int) -> MACAddress:
+        """The MAC address of simulated device ``index``."""
+        return MACAddress.from_string(f"02:16:3e:{(index >> 16) & 0xFF:02x}:{(index >> 8) & 0xFF:02x}:{index & 0xFF:02x}")
+
+    def device_ip(self, index: int) -> str:
+        """The IPv4 address of simulated device ``index``."""
+        return f"{self.subnet_prefix}.{10 + index}"
+
+    def generate(self, flow_count: int) -> list[FlowSpec]:
+        """Generate ``flow_count`` distinct concurrent flows."""
+        if flow_count < 0:
+            raise SimulationError("flow_count cannot be negative")
+        flows: list[FlowSpec] = []
+        for flow_index in range(flow_count):
+            source = int(self._rng.integers(0, self.device_count))
+            if self._rng.random() < self.local_ratio:
+                destination = int(self._rng.integers(0, self.device_count))
+                if destination == source:
+                    destination = (destination + 1) % self.device_count
+                dst_ip = self.device_ip(destination)
+            else:
+                dst_ip = (
+                    f"{52 + int(self._rng.integers(0, 100))}."
+                    f"{int(self._rng.integers(1, 255))}."
+                    f"{int(self._rng.integers(1, 255))}."
+                    f"{int(self._rng.integers(1, 255))}"
+                )
+            key = FlowKey(
+                src_ip=self.device_ip(source),
+                dst_ip=dst_ip,
+                protocol="tcp" if self._rng.random() < 0.7 else "udp",
+                src_port=int(self._rng.integers(49152, 65536)),
+                dst_port=int(self._rng.choice([80, 443, 53, 123, 8883, 1883])),
+            )
+            flows.append(FlowSpec(source_mac=self.device_mac(source), key=key))
+        return flows

@@ -1,0 +1,102 @@
+"""Tests for the 27-device catalog of Table II."""
+
+from repro.devices.catalog import (
+    CONFUSABLE_FAMILIES,
+    DEVICE_CATALOG,
+    DEVICE_NAMES,
+    TABLE_III_DEVICES,
+    build_catalog,
+    profile_of,
+)
+from repro.devices.profiles import Connectivity, StepKind
+
+import pytest
+
+
+class TestCatalogShape:
+    def test_27_device_types(self):
+        assert len(DEVICE_NAMES) == 27
+        assert len(DEVICE_CATALOG) == 27
+
+    def test_names_match_catalog_keys(self):
+        assert set(DEVICE_NAMES) == set(DEVICE_CATALOG)
+
+    def test_no_duplicate_names(self):
+        assert len(set(DEVICE_NAMES)) == 27
+
+    def test_build_catalog_is_reproducible(self):
+        rebuilt = build_catalog()
+        assert set(rebuilt) == set(DEVICE_CATALOG)
+        assert rebuilt["Aria"].steps == DEVICE_CATALOG["Aria"].steps
+
+    def test_profile_of_lookup(self):
+        assert profile_of("HueBridge").vendor == "Philips"
+        with pytest.raises(KeyError):
+            profile_of("Nonexistent")
+
+    def test_every_profile_has_steps_and_hostname(self):
+        for profile in DEVICE_CATALOG.values():
+            assert profile.step_count >= 4
+            assert profile.hostname
+
+    def test_table_iii_devices_are_the_last_ten(self):
+        assert len(TABLE_III_DEVICES) == 10
+        assert TABLE_III_DEVICES[0] == "D-LinkSwitch"
+        assert TABLE_III_DEVICES[-1] == "iKettle2"
+
+
+class TestConnectivityColumns:
+    def test_wifi_devices(self):
+        assert Connectivity.WIFI in DEVICE_CATALOG["Aria"].connectivity
+        assert Connectivity.WIFI in DEVICE_CATALOG["TP-LinkPlugHS110"].connectivity
+
+    def test_ethernet_devices(self):
+        assert Connectivity.ETHERNET in DEVICE_CATALOG["MAXGateway"].connectivity
+        assert Connectivity.ETHERNET in DEVICE_CATALOG["HueBridge"].connectivity
+
+    def test_zigbee_and_zwave_devices(self):
+        assert Connectivity.ZIGBEE in DEVICE_CATALOG["HueSwitch"].connectivity
+        assert Connectivity.ZWAVE in DEVICE_CATALOG["D-LinkDoorSensor"].connectivity
+
+
+class TestConfusableFamilies:
+    def test_families_cover_table_iii(self):
+        members = [name for family in CONFUSABLE_FAMILIES.values() for name in family]
+        assert sorted(members) == sorted(TABLE_III_DEVICES)
+
+    def test_family_labels_set_on_profiles(self):
+        for family, names in CONFUSABLE_FAMILIES.items():
+            for name in names:
+                assert DEVICE_CATALOG[name].family == family
+
+    def test_family_members_share_step_structure(self):
+        """Devices of a confusable family must emit the same kinds of steps
+        in the same order -- only sizes/probabilities may differ."""
+        for names in CONFUSABLE_FAMILIES.values():
+            reference = [step.kind for step in DEVICE_CATALOG[names[0]].steps]
+            for name in names[1:]:
+                kinds = [step.kind for step in DEVICE_CATALOG[name].steps]
+                assert kinds == reference
+
+    def test_non_family_devices_have_distinct_structures(self):
+        aria = [step.kind for step in DEVICE_CATALOG["Aria"].steps]
+        hue = [step.kind for step in DEVICE_CATALOG["HueBridge"].steps]
+        assert aria != hue
+
+
+class TestProfileRealism:
+    def test_wifi_only_devices_start_with_wpa_handshake(self):
+        for name in ("Aria", "WeMoSwitch", "TP-LinkPlugHS100", "SmarterCoffee"):
+            assert DEVICE_CATALOG[name].steps[0].kind == StepKind.EAPOL_HANDSHAKE
+
+    def test_wired_devices_do_not_do_wpa(self):
+        for name in ("MAXGateway", "HueBridge", "D-LinkHomeHub"):
+            kinds = {step.kind for step in DEVICE_CATALOG[name].steps}
+            assert StepKind.EAPOL_HANDSHAKE not in kinds
+
+    def test_every_profile_obtains_an_address_or_uses_the_hub(self):
+        for name, profile in DEVICE_CATALOG.items():
+            kinds = {step.kind for step in profile.steps}
+            obtains_address = StepKind.DHCP_DISCOVER in kinds or StepKind.BOOTP_REQUEST in kinds
+            hub_proxied = name in ("HueSwitch", "D-LinkDoorSensor")
+            assert obtains_address or hub_proxied

@@ -1,0 +1,94 @@
+"""Tests for the edit-distance discrimination stage."""
+
+import numpy as np
+import pytest
+
+from repro.distance.discrimination import EditDistanceDiscriminator
+from repro.exceptions import IdentificationError
+from repro.features.fingerprint import Fingerprint
+from repro.features.packet_features import FEATURE_COUNT
+
+
+def fingerprint_from_sizes(sizes, device_type=None):
+    rows = []
+    for size in sizes:
+        row = [0] * FEATURE_COUNT
+        row[18] = size
+        rows.append(row)
+    return Fingerprint.from_feature_rows(rows, device_type=device_type, deduplicate=False)
+
+
+class TestScoreType:
+    def test_zero_score_for_identical_references(self):
+        target = fingerprint_from_sizes([1, 2, 3, 4])
+        references = [fingerprint_from_sizes([1, 2, 3, 4]) for _ in range(5)]
+        discriminator = EditDistanceDiscriminator(rng=np.random.default_rng(0))
+        score = discriminator.score_type(target, "typeA", references)
+        assert score.score == 0.0
+        assert score.comparisons == 5
+
+    def test_score_bounded_by_reference_count(self):
+        target = fingerprint_from_sizes([1, 2, 3])
+        references = [fingerprint_from_sizes([9, 8, 7]) for _ in range(5)]
+        discriminator = EditDistanceDiscriminator(rng=np.random.default_rng(0))
+        score = discriminator.score_type(target, "typeA", references)
+        assert 0.0 <= score.score <= 5.0
+
+    def test_uses_at_most_references_per_type(self):
+        target = fingerprint_from_sizes([1, 2])
+        references = [fingerprint_from_sizes([1, 2]) for _ in range(20)]
+        discriminator = EditDistanceDiscriminator(references_per_type=5, rng=np.random.default_rng(0))
+        assert discriminator.score_type(target, "t", references).comparisons == 5
+
+    def test_fewer_references_than_requested(self):
+        target = fingerprint_from_sizes([1, 2])
+        references = [fingerprint_from_sizes([1, 2])] * 2
+        discriminator = EditDistanceDiscriminator(references_per_type=5, rng=np.random.default_rng(0))
+        assert discriminator.score_type(target, "t", references).comparisons == 2
+
+    def test_empty_references_rejected(self):
+        discriminator = EditDistanceDiscriminator(rng=np.random.default_rng(0))
+        with pytest.raises(IdentificationError):
+            discriminator.score_type(fingerprint_from_sizes([1]), "t", [])
+
+    def test_invalid_reference_count(self):
+        with pytest.raises(IdentificationError):
+            EditDistanceDiscriminator(references_per_type=0)
+
+
+class TestDiscriminate:
+    def test_picks_closest_type(self):
+        target = fingerprint_from_sizes([1, 2, 3, 4, 5])
+        candidates = {
+            "near": [fingerprint_from_sizes([1, 2, 3, 4, 6]) for _ in range(5)],
+            "far": [fingerprint_from_sizes([9, 9, 9]) for _ in range(5)],
+        }
+        discriminator = EditDistanceDiscriminator(rng=np.random.default_rng(0))
+        winner, scores = discriminator.discriminate(target, candidates)
+        assert winner == "near"
+        assert scores[0].device_type == "near"
+        assert scores[0].score < scores[1].score
+
+    def test_scores_sorted_ascending(self):
+        target = fingerprint_from_sizes([1, 2, 3])
+        candidates = {
+            "a": [fingerprint_from_sizes([1, 2, 3])],
+            "b": [fingerprint_from_sizes([4, 5, 6])],
+            "c": [fingerprint_from_sizes([1, 2, 9])],
+        }
+        discriminator = EditDistanceDiscriminator(rng=np.random.default_rng(0))
+        _, scores = discriminator.discriminate(target, candidates)
+        values = [score.score for score in scores]
+        assert values == sorted(values)
+
+    def test_no_candidates_rejected(self):
+        discriminator = EditDistanceDiscriminator(rng=np.random.default_rng(0))
+        with pytest.raises(IdentificationError):
+            discriminator.discriminate(fingerprint_from_sizes([1]), {})
+
+    def test_single_candidate(self):
+        target = fingerprint_from_sizes([1, 2])
+        discriminator = EditDistanceDiscriminator(rng=np.random.default_rng(0))
+        winner, scores = discriminator.discriminate(target, {"only": [fingerprint_from_sizes([3, 4])]})
+        assert winner == "only"
+        assert len(scores) == 1

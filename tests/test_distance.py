@@ -1,0 +1,58 @@
+"""Tests for the Damerau-Levenshtein edit distance."""
+
+import pytest
+
+from repro.distance.damerau_levenshtein import damerau_levenshtein, normalized_damerau_levenshtein
+from repro.exceptions import FingerprintError
+
+
+class TestAbsoluteDistance:
+    def test_identical(self):
+        assert damerau_levenshtein("abcdef", "abcdef") == 0
+
+    def test_empty_sequences(self):
+        assert damerau_levenshtein("", "") == 0
+        assert damerau_levenshtein("abc", "") == 3
+        assert damerau_levenshtein("", "abcd") == 4
+
+    def test_substitution(self):
+        assert damerau_levenshtein("abc", "axc") == 1
+
+    def test_insertion_and_deletion(self):
+        assert damerau_levenshtein("abc", "abxc") == 1
+        assert damerau_levenshtein("abxc", "abc") == 1
+
+    def test_transposition_counts_one(self):
+        assert damerau_levenshtein("abcd", "abdc") == 1
+        assert damerau_levenshtein("ca", "ac") == 1
+
+    def test_classic_example(self):
+        assert damerau_levenshtein("kitten", "sitting") == 3
+
+    def test_works_on_tuples(self):
+        first = [(1, 0), (0, 1), (1, 1)]
+        second = [(1, 0), (1, 1)]
+        assert damerau_levenshtein(first, second) == 1
+
+    def test_symmetry(self):
+        assert damerau_levenshtein("setup", "steup") == damerau_levenshtein("steup", "setup")
+
+    def test_triangle_inequality_examples(self):
+        a, b, c = "dhcpdns", "dhcpntp", "dnsntp"
+        assert damerau_levenshtein(a, c) <= damerau_levenshtein(a, b) + damerau_levenshtein(b, c)
+
+
+class TestNormalizedDistance:
+    def test_bounds(self):
+        assert normalized_damerau_levenshtein("abc", "abc") == 0.0
+        assert normalized_damerau_levenshtein("abc", "xyz") == 1.0
+
+    def test_division_by_longest(self):
+        assert normalized_damerau_levenshtein("ab", "abcd") == pytest.approx(0.5)
+
+    def test_both_empty_rejected(self):
+        with pytest.raises(FingerprintError):
+            normalized_damerau_levenshtein("", "")
+
+    def test_one_empty(self):
+        assert normalized_damerau_levenshtein("", "ab") == 1.0

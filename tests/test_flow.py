@@ -1,0 +1,60 @@
+"""Tests for flow-key derivation."""
+
+from repro.net.addresses import MACAddress
+from repro.net.flow import FlowKey
+from repro.net.layers.arp import OP_REQUEST, ARPPacket
+from repro.net.layers.ethernet import ETHERTYPE, EthernetFrame
+from repro.net.layers.ipv4 import IPv4Header, PROTO_ICMP
+from repro.net.layers.icmp import ICMPMessage, TYPE_ECHO_REQUEST
+from repro.net.packet import Packet
+
+from tests.conftest import make_tcp_packet, make_udp_packet
+
+SRC = MACAddress.from_string("02:00:00:00:00:01")
+DST = MACAddress.from_string("02:00:00:00:00:02")
+
+
+class TestFlowKey:
+    def test_tcp_flow(self):
+        packet = make_tcp_packet(SRC, DST, "10.0.0.1", "10.0.0.2", dst_port=443, src_port=50001)
+        key = FlowKey.from_packet(packet)
+        assert key == FlowKey("10.0.0.1", "10.0.0.2", "tcp", 50001, 443)
+
+    def test_udp_flow(self):
+        packet = make_udp_packet(SRC, DST, "10.0.0.1", "10.0.0.2", dst_port=53, src_port=40000)
+        key = FlowKey.from_packet(packet)
+        assert key.protocol == "udp"
+        assert key.dst_port == 53
+
+    def test_icmp_flow(self):
+        packet = Packet(
+            ethernet=EthernetFrame(dst=DST, src=SRC, ethertype=ETHERTYPE.IPV4),
+            ipv4=IPv4Header(src="10.0.0.1", dst="10.0.0.2", protocol=PROTO_ICMP),
+            icmp=ICMPMessage(icmp_type=TYPE_ECHO_REQUEST),
+        )
+        key = FlowKey.from_packet(packet)
+        assert key.protocol == "icmp"
+        assert key.src_port == 0
+
+    def test_non_ip_has_no_flow(self):
+        packet = Packet(
+            ethernet=EthernetFrame(dst=DST, src=SRC, ethertype=ETHERTYPE.ARP),
+            arp=ARPPacket(OP_REQUEST, SRC, "0.0.0.0", MACAddress.zero(), "10.0.0.1"),
+        )
+        assert FlowKey.from_packet(packet) is None
+
+    def test_reversed_key(self):
+        key = FlowKey("10.0.0.1", "10.0.0.2", "tcp", 50001, 443)
+        reverse = key.reversed_key
+        assert reverse.src_ip == "10.0.0.2"
+        assert reverse.dst_port == 50001
+        assert reverse.reversed_key == key
+
+    def test_usable_as_dict_key(self):
+        key = FlowKey("10.0.0.1", "10.0.0.2", "tcp", 1, 2)
+        table = {key: "allow"}
+        assert table[FlowKey("10.0.0.1", "10.0.0.2", "tcp", 1, 2)] == "allow"
+
+    def test_str_rendering(self):
+        key = FlowKey("10.0.0.1", "10.0.0.2", "udp", 5, 6)
+        assert str(key) == "udp:10.0.0.1:5->10.0.0.2:6"

@@ -1,0 +1,102 @@
+"""Tests for the two-stage device-type identifier."""
+
+import numpy as np
+import pytest
+
+from repro.devices.catalog import DEVICE_CATALOG
+from repro.devices.simulator import SetupTrafficSimulator
+from repro.exceptions import IdentificationError
+from repro.features.fingerprint import Fingerprint
+from repro.features.packet_features import FEATURE_COUNT
+from repro.identification.identifier import UNKNOWN_DEVICE_TYPE, DeviceTypeIdentifier
+from repro.identification.registry import FingerprintRegistry
+
+
+class TestTrainAndIdentify:
+    def test_identifies_training_types(self, small_dataset, trained_identifier):
+        correct = 0
+        total = 0
+        for device_type in small_dataset.device_types[:4]:
+            for fingerprint in small_dataset.of_type(device_type)[:4]:
+                result = trained_identifier.identify(fingerprint)
+                correct += result.device_type == device_type
+                total += 1
+        assert correct / total >= 0.7
+
+    def test_result_metadata(self, small_dataset, trained_identifier):
+        fingerprint = small_dataset.fingerprints[0]
+        result = trained_identifier.identify(fingerprint)
+        assert result.classification_seconds > 0
+        assert result.total_seconds >= result.classification_seconds
+        if result.needed_discrimination:
+            assert len(result.discrimination_scores) == len(result.matched_types)
+        assert isinstance(result.matched_types, tuple)
+
+    def test_unknown_device_detected(self, trained_identifier):
+        # A fingerprint radically unlike anything in the training data:
+        # a single LLC frame repeated.
+        rows = []
+        for index in range(6):
+            row = [0] * FEATURE_COUNT
+            row[1] = 1  # llc
+            row[18] = 2000 + index * 17
+            rows.append(row)
+        foreign = Fingerprint.from_feature_rows(rows)
+        result = trained_identifier.identify(foreign)
+        assert result.device_type == UNKNOWN_DEVICE_TYPE
+        assert result.is_new_device_type
+
+    def test_disable_discrimination(self, small_dataset, trained_identifier):
+        fingerprint = small_dataset.of_type("TP-LinkPlugHS110")[0]
+        result = trained_identifier.identify(fingerprint, use_discrimination=False)
+        assert result.discrimination_scores == ()
+        assert result.device_type in trained_identifier.known_device_types + [UNKNOWN_DEVICE_TYPE]
+
+    def test_identify_many(self, small_dataset, trained_identifier):
+        fingerprints = small_dataset.fingerprints[:5]
+        results = trained_identifier.identify_many(fingerprints)
+        assert len(results) == 5
+
+    def test_confusable_family_matches_stay_in_family(self, small_dataset, trained_identifier):
+        """Smarter appliances may be confused with each other but rarely
+        with unrelated device-types (the Table III structure)."""
+        family = {"SmarterCoffee", "iKettle2"}
+        in_family = 0
+        total = 0
+        for device_type in family:
+            for fingerprint in small_dataset.of_type(device_type):
+                predicted = trained_identifier.identify(fingerprint).device_type
+                total += 1
+                in_family += predicted in family
+        assert in_family / total >= 0.8
+
+
+class TestIncrementalLearning:
+    def test_add_device_type(self, small_dataset):
+        registry = small_dataset.to_registry()
+        identifier = DeviceTypeIdentifier.train(registry, n_estimators=5, random_state=0)
+        known_before = set(identifier.known_device_types)
+
+        simulator = SetupTrafficSimulator(seed=77)
+        traces = simulator.simulate_many(DEVICE_CATALOG["Withings"], 6)
+        fingerprints = [
+            Fingerprint.from_packets(trace.packets, device_type="Withings") for trace in traces
+        ]
+        identifier.add_device_type("Withings", fingerprints)
+
+        assert set(identifier.known_device_types) == known_before | {"Withings"}
+        probe = Fingerprint.from_packets(
+            simulator.simulate(DEVICE_CATALOG["Withings"]).packets, device_type="Withings"
+        )
+        assert identifier.identify(probe).device_type == "Withings"
+
+    def test_add_device_type_requires_fingerprints(self, small_dataset):
+        identifier = DeviceTypeIdentifier.train(
+            small_dataset.to_registry(), n_estimators=3, random_state=0
+        )
+        with pytest.raises(IdentificationError):
+            identifier.add_device_type("Empty", [])
+
+    def test_training_empty_registry_rejected(self):
+        with pytest.raises(IdentificationError):
+            DeviceTypeIdentifier.train(FingerprintRegistry())

@@ -1,0 +1,103 @@
+"""Tests for link-layer and EAPoL/ARP dissectors."""
+
+import pytest
+
+from repro.exceptions import PacketDecodeError
+from repro.net.addresses import MACAddress
+from repro.net.layers.arp import ARPPacket, OP_REPLY, OP_REQUEST
+from repro.net.layers.eapol import EAPOLFrame, TYPE_KEY, TYPE_START
+from repro.net.layers.ethernet import ETHERTYPE, EthernetFrame
+from repro.net.layers.llc import LLCHeader, SAP_SPANNING_TREE
+
+MAC_A = MACAddress.from_string("02:00:00:00:00:01")
+MAC_B = MACAddress.from_string("02:00:00:00:00:02")
+
+
+class TestEthernetFrame:
+    def test_roundtrip(self):
+        frame = EthernetFrame(dst=MAC_B, src=MAC_A, ethertype=ETHERTYPE.IPV4)
+        parsed, rest = EthernetFrame.from_bytes(frame.to_bytes() + b"payload")
+        assert parsed == frame
+        assert rest == b"payload"
+
+    def test_too_short(self):
+        with pytest.raises(PacketDecodeError):
+            EthernetFrame.from_bytes(b"\x00" * 10)
+
+    def test_llc_detection(self):
+        llc_frame = EthernetFrame(dst=MAC_B, src=MAC_A, ethertype=0x0040)
+        assert llc_frame.is_llc
+        ip_frame = EthernetFrame(dst=MAC_B, src=MAC_A, ethertype=ETHERTYPE.IPV4)
+        assert not ip_frame.is_llc
+
+
+class TestLLCHeader:
+    def test_roundtrip(self):
+        header = LLCHeader(dsap=SAP_SPANNING_TREE, ssap=SAP_SPANNING_TREE, control=0x03)
+        parsed, rest = LLCHeader.from_bytes(header.to_bytes() + b"bpdu")
+        assert parsed == header
+        assert rest == b"bpdu"
+
+    def test_too_short(self):
+        with pytest.raises(PacketDecodeError):
+            LLCHeader.from_bytes(b"\x42")
+
+
+class TestARPPacket:
+    def _packet(self, operation=OP_REQUEST, sender_ip="192.168.0.5", target_ip="192.168.0.1"):
+        return ARPPacket(
+            operation=operation,
+            sender_mac=MAC_A,
+            sender_ip=sender_ip,
+            target_mac=MACAddress.zero(),
+            target_ip=target_ip,
+        )
+
+    def test_roundtrip(self):
+        packet = self._packet()
+        parsed, rest = ARPPacket.from_bytes(packet.to_bytes())
+        assert parsed == packet
+        assert rest == b""
+
+    def test_request_reply_flags(self):
+        assert self._packet(OP_REQUEST).is_request
+        assert self._packet(OP_REPLY).is_reply
+        assert not self._packet(OP_REPLY).is_request
+
+    def test_gratuitous(self):
+        announce = self._packet(sender_ip="192.168.0.5", target_ip="192.168.0.5")
+        assert announce.is_gratuitous
+        assert not self._packet().is_gratuitous
+
+    def test_trailing_padding_preserved(self):
+        packet = self._packet()
+        parsed, rest = ARPPacket.from_bytes(packet.to_bytes() + b"\x00" * 18)
+        assert parsed == packet
+        assert rest == b"\x00" * 18
+
+    def test_too_short(self):
+        with pytest.raises(PacketDecodeError):
+            ARPPacket.from_bytes(b"\x00" * 10)
+
+    def test_unsupported_address_lengths(self):
+        raw = bytearray(self._packet().to_bytes())
+        raw[4] = 8  # hardware address length
+        with pytest.raises(PacketDecodeError):
+            ARPPacket.from_bytes(bytes(raw))
+
+
+class TestEAPOLFrame:
+    def test_roundtrip(self):
+        frame = EAPOLFrame(packet_type=TYPE_KEY, body=b"\x01" * 95)
+        parsed, rest = EAPOLFrame.from_bytes(frame.to_bytes())
+        assert parsed == frame
+        assert rest == b""
+
+    def test_flags(self):
+        assert EAPOLFrame(packet_type=TYPE_KEY).is_key
+        assert EAPOLFrame(packet_type=TYPE_START).is_start
+        assert not EAPOLFrame(packet_type=TYPE_START).is_key
+
+    def test_too_short(self):
+        with pytest.raises(PacketDecodeError):
+            EAPOLFrame.from_bytes(b"\x02")

@@ -1,0 +1,69 @@
+"""Tests for TCP and UDP dissectors."""
+
+import pytest
+
+from repro.exceptions import PacketDecodeError
+from repro.net.layers.tcp import FLAG_ACK, FLAG_SYN, TCPSegment
+from repro.net.layers.udp import UDPDatagram
+
+
+class TestTCPSegment:
+    def test_roundtrip(self):
+        segment = TCPSegment(src_port=51000, dst_port=443, seq=123, ack=0, flags=FLAG_SYN, payload=b"")
+        parsed, payload = TCPSegment.from_bytes(segment.to_bytes())
+        assert parsed.src_port == 51000
+        assert parsed.dst_port == 443
+        assert parsed.seq == 123
+        assert parsed.is_syn
+        assert payload == b""
+
+    def test_payload_roundtrip(self):
+        segment = TCPSegment(src_port=1, dst_port=2, flags=FLAG_ACK, payload=b"GET / HTTP/1.1")
+        parsed, payload = TCPSegment.from_bytes(segment.to_bytes())
+        assert payload == b"GET / HTTP/1.1"
+        assert parsed.has_payload
+
+    def test_syn_ack_flags(self):
+        assert TCPSegment(src_port=1, dst_port=2, flags=FLAG_SYN | FLAG_ACK).is_syn_ack
+        assert not TCPSegment(src_port=1, dst_port=2, flags=FLAG_SYN | FLAG_ACK).is_syn
+
+    def test_truncated(self):
+        with pytest.raises(PacketDecodeError):
+            TCPSegment.from_bytes(b"\x00" * 10)
+
+    def test_bad_data_offset(self):
+        raw = bytearray(TCPSegment(src_port=1, dst_port=2).to_bytes())
+        raw[12] = 0x10  # data offset of 4 words < minimum of 5
+        with pytest.raises(PacketDecodeError):
+            TCPSegment.from_bytes(bytes(raw))
+
+
+class TestUDPDatagram:
+    def test_roundtrip(self):
+        datagram = UDPDatagram(src_port=68, dst_port=67, payload=b"dhcp")
+        parsed, payload = UDPDatagram.from_bytes(datagram.to_bytes())
+        assert parsed.src_port == 68
+        assert parsed.dst_port == 67
+        assert payload == b"dhcp"
+        assert parsed.has_payload
+
+    def test_empty_payload(self):
+        datagram = UDPDatagram(src_port=123, dst_port=123)
+        parsed, payload = UDPDatagram.from_bytes(datagram.to_bytes())
+        assert payload == b""
+        assert not parsed.has_payload
+
+    def test_length_field_bounds_payload(self):
+        raw = UDPDatagram(src_port=1, dst_port=2, payload=b"abcd").to_bytes() + b"\x00" * 6
+        _, payload = UDPDatagram.from_bytes(raw)
+        assert payload == b"abcd"
+
+    def test_truncated(self):
+        with pytest.raises(PacketDecodeError):
+            UDPDatagram.from_bytes(b"\x00\x01\x02")
+
+    def test_invalid_length_field(self):
+        raw = bytearray(UDPDatagram(src_port=1, dst_port=2, payload=b"xy").to_bytes())
+        raw[4:6] = (0).to_bytes(2, "big")
+        with pytest.raises(PacketDecodeError):
+            UDPDatagram.from_bytes(bytes(raw))

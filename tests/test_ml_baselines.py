@@ -1,0 +1,77 @@
+"""Tests for the baseline classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.baselines import GaussianNaiveBayes, KNeighborsClassifier, MajorityClassClassifier
+
+
+def _blobs(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    X_a = rng.normal(loc=0.0, scale=1.0, size=(n // 2, 5))
+    X_b = rng.normal(loc=4.0, scale=1.0, size=(n // 2, 5))
+    X = np.vstack([X_a, X_b])
+    y = np.array(["a"] * (n // 2) + ["b"] * (n // 2))
+    return X, y
+
+
+class TestMajorityClass:
+    def test_predicts_majority(self):
+        X = np.zeros((5, 2))
+        y = np.array(["x", "x", "x", "y", "y"])
+        model = MajorityClassClassifier().fit(X, y)
+        assert list(model.predict(np.zeros((3, 2)))) == ["x", "x", "x"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            MajorityClassClassifier().fit(np.zeros((0, 2)), np.array([]))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ModelError):
+            MajorityClassClassifier().predict(np.zeros((1, 2)))
+
+
+class TestGaussianNaiveBayes:
+    def test_separable_blobs(self):
+        X, y = _blobs()
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_log_proba_shape(self):
+        X, y = _blobs(40)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.predict_log_proba(X[:7]).shape == (7, 2)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ModelError):
+            GaussianNaiveBayes().predict(np.zeros((1, 5)))
+
+    def test_invalid_training_data(self):
+        with pytest.raises(ModelError):
+            GaussianNaiveBayes().fit(np.zeros((3, 2)), np.zeros(2))
+
+
+class TestKNN:
+    def test_separable_blobs(self):
+        X, y = _blobs()
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_k_larger_than_dataset(self):
+        X, y = _blobs(10)
+        model = KNeighborsClassifier(n_neighbors=50).fit(X, y)
+        assert len(model.predict(X[:2])) == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ModelError):
+            KNeighborsClassifier(n_neighbors=0).fit(*_blobs(10))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ModelError):
+            KNeighborsClassifier().predict(np.zeros((1, 5)))
+
+    def test_single_neighbor_memorises(self):
+        X, y = _blobs(30)
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert model.score(X, y) == 1.0

@@ -1,0 +1,119 @@
+"""Tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _linearly_separable(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+class TestFit:
+    def test_perfect_fit_on_separable_data(self):
+        X, y = _linearly_separable()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert tree.score(X, y) >= 0.97
+
+    def test_single_class(self):
+        X = np.zeros((10, 3))
+        y = np.ones(10, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert np.all(tree.predict(X) == 1)
+        assert tree.depth == 0
+
+    def test_max_depth_limits_tree(self):
+        X, y = _linearly_separable(200)
+        shallow = DecisionTreeClassifier(max_depth=1, random_state=0).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=8, random_state=0).fit(X, y)
+        assert shallow.depth <= 1
+        assert deep.node_count_ >= shallow.node_count_
+
+    def test_min_samples_leaf(self):
+        X, y = _linearly_separable(40)
+        tree = DecisionTreeClassifier(min_samples_leaf=10, random_state=0).fit(X, y)
+        assert tree.depth <= 3
+
+    def test_string_labels(self):
+        X, y_int = _linearly_separable(60)
+        y = np.where(y_int == 1, "device", "other")
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        predictions = tree.predict(X)
+        assert set(predictions.tolist()) <= {"device", "other"}
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(150, 3))
+        y = np.digitize(X[:, 0], [-0.5, 0.5])
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert tree.score(X, y) > 0.9
+        assert len(tree.classes_) == 3
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().fit(np.zeros((0, 3)), np.zeros(0))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().fit(np.zeros((5, 3)), np.zeros(4))
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().fit(np.zeros(5), np.zeros(5))
+
+
+class TestPredict:
+    def test_predict_before_fit(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().predict(np.zeros((1, 3)))
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, y = _linearly_separable()
+        tree = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+        probabilities = tree.predict_proba(X)
+        assert probabilities.shape == (len(X), 2)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_feature_count_mismatch(self):
+        X, y = _linearly_separable()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        with pytest.raises(ModelError):
+            tree.predict(np.zeros((1, 7)))
+
+    def test_single_sample_predict(self):
+        X, y = _linearly_separable()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert tree.predict(X[0]).shape == (1,)
+
+    def test_deterministic_under_seed(self):
+        X, y = _linearly_separable(80)
+        first = DecisionTreeClassifier(max_features="sqrt", random_state=5).fit(X, y)
+        second = DecisionTreeClassifier(max_features="sqrt", random_state=5).fit(X, y)
+        probe = np.random.default_rng(2).normal(size=(20, 4))
+        np.testing.assert_array_equal(first.predict(probe), second.predict(probe))
+
+
+class TestFeatureSubsampling:
+    def test_sqrt_and_log2_and_fraction(self):
+        X, y = _linearly_separable(60)
+        for max_features in ("sqrt", "log2", 2, 0.5, None):
+            tree = DecisionTreeClassifier(max_features=max_features, random_state=0).fit(X, y)
+            assert tree.score(X, y) > 0.5
+
+    def test_unknown_string_rejected(self):
+        X, y = _linearly_separable(30)
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier(max_features="cube").fit(X, y)
+
+    def test_feature_importances_sum_to_one(self):
+        X, y = _linearly_separable(80)
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        importances = tree.feature_importances()
+        assert importances.shape == (4,)
+        assert importances.sum() == pytest.approx(1.0)
+        assert importances[0] > importances[3]

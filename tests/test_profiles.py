@@ -1,0 +1,76 @@
+"""Tests for the device behaviour-profile model."""
+
+import pytest
+
+from repro.devices.profiles import Connectivity, DeviceProfile, SetupStep, StepKind
+from repro.exceptions import DeviceProfileError
+
+
+def _minimal_steps():
+    return (SetupStep(StepKind.DHCP_DISCOVER), SetupStep(StepKind.ARP_ANNOUNCE))
+
+
+class TestSetupStep:
+    def test_defaults(self):
+        step = SetupStep(StepKind.DNS_QUERY, target="example.com")
+        assert step.repeat == 1
+        assert step.probability == 1.0
+
+    def test_invalid_repeat(self):
+        with pytest.raises(DeviceProfileError):
+            SetupStep(StepKind.DNS_QUERY, repeat=0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(DeviceProfileError):
+            SetupStep(StepKind.DNS_QUERY, probability=0.0)
+        with pytest.raises(DeviceProfileError):
+            SetupStep(StepKind.DNS_QUERY, probability=1.5)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(DeviceProfileError):
+            SetupStep(StepKind.HTTP_GET, payload_size=-1)
+        with pytest.raises(DeviceProfileError):
+            SetupStep(StepKind.HTTP_GET, size_jitter=-4)
+
+    def test_invalid_port(self):
+        with pytest.raises(DeviceProfileError):
+            SetupStep(StepKind.UDP_SEND, port=90000)
+
+    def test_immutability(self):
+        step = SetupStep(StepKind.DNS_QUERY)
+        with pytest.raises(Exception):
+            step.repeat = 5
+
+
+class TestDeviceProfile:
+    def test_basic_profile(self):
+        profile = DeviceProfile(
+            name="TestCam",
+            vendor="Acme",
+            model="Cam 2000",
+            connectivity=(Connectivity.WIFI, Connectivity.ETHERNET),
+            steps=_minimal_steps(),
+        )
+        assert profile.device_type == "TestCam"
+        assert profile.step_count == 2
+        assert "Acme" in profile.describe()
+        assert "wifi/ethernet" in profile.describe()
+
+    def test_requires_name_and_steps(self):
+        with pytest.raises(DeviceProfileError):
+            DeviceProfile(name="", vendor="A", model="B", steps=_minimal_steps())
+        with pytest.raises(DeviceProfileError):
+            DeviceProfile(name="X", vendor="A", model="B", steps=())
+
+    def test_with_firmware_creates_new_device_type_variant(self):
+        base = DeviceProfile(name="Plug", vendor="Acme", model="P1", steps=_minimal_steps())
+        updated = base.with_firmware("2.0.0", extra_steps=(SetupStep(StepKind.NTP_SYNC),))
+        assert updated.firmware_version == "2.0.0"
+        assert updated.step_count == base.step_count + 1
+        assert base.firmware_version == "1.0.0"
+        assert updated.metadata["derived_from"] == "1.0.0"
+
+    def test_profiles_are_frozen(self):
+        profile = DeviceProfile(name="Plug", vendor="Acme", model="P1", steps=_minimal_steps())
+        with pytest.raises(Exception):
+            profile.name = "Other"

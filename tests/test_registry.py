@@ -1,0 +1,72 @@
+"""Tests for the fingerprint registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IdentificationError
+from repro.features.fingerprint import Fingerprint
+from repro.features.packet_features import FEATURE_COUNT
+from repro.identification.registry import FingerprintRegistry
+
+
+def make_fingerprint(device_type=None, size=100):
+    row = [0] * FEATURE_COUNT
+    row[18] = size
+    return Fingerprint.from_feature_rows([row], device_type=device_type)
+
+
+class TestRegistry:
+    def test_add_and_count(self):
+        registry = FingerprintRegistry()
+        registry.add(make_fingerprint("Aria"))
+        registry.add(make_fingerprint("Aria"))
+        registry.add(make_fingerprint("HueBridge"))
+        assert registry.device_types == ["Aria", "HueBridge"]
+        assert registry.count("Aria") == 2
+        assert registry.total_fingerprints == 3
+        assert len(registry) == 3
+
+    def test_add_with_explicit_label_overrides(self):
+        registry = FingerprintRegistry()
+        registry.add(make_fingerprint("WrongLabel"), device_type="Correct")
+        assert "Correct" in registry
+        assert registry.fingerprints_of("Correct")[0].device_type == "Correct"
+
+    def test_unlabelled_fingerprint_rejected(self):
+        registry = FingerprintRegistry()
+        with pytest.raises(IdentificationError):
+            registry.add(make_fingerprint(None))
+
+    def test_fingerprints_of_unknown_type(self):
+        with pytest.raises(IdentificationError):
+            FingerprintRegistry().fingerprints_of("Nothing")
+
+    def test_fingerprints_excluding(self):
+        registry = FingerprintRegistry()
+        registry.add_all([make_fingerprint("A"), make_fingerprint("B"), make_fingerprint("C")])
+        others = registry.fingerprints_excluding("A")
+        assert len(others) == 2
+        assert all(fingerprint.device_type != "A" for fingerprint in others)
+
+    def test_iteration_is_sorted_by_type(self):
+        registry = FingerprintRegistry()
+        registry.add_all([make_fingerprint("Zeta"), make_fingerprint("Alpha")])
+        assert [fingerprint.device_type for fingerprint in registry] == ["Alpha", "Zeta"]
+
+    def test_fixed_matrix_shape(self):
+        registry = FingerprintRegistry()
+        registry.add_all([make_fingerprint("A", size=10), make_fingerprint("A", size=20)])
+        matrix = registry.fixed_matrix(registry.fingerprints_of("A"))
+        assert matrix.shape == (2, 12 * FEATURE_COUNT)
+
+    def test_fixed_matrix_empty_rejected(self):
+        with pytest.raises(IdentificationError):
+            FingerprintRegistry().fixed_matrix([])
+
+    def test_training_matrices(self):
+        registry = FingerprintRegistry()
+        registry.add_all([make_fingerprint("A"), make_fingerprint("B")])
+        matrix, labels = registry.training_matrices()
+        assert matrix.shape[0] == 2
+        assert set(labels.tolist()) == {"A", "B"}
+        assert matrix.dtype == np.float64

@@ -1,0 +1,202 @@
+"""Tests for the SDN substrate: flow rules, switch and controller."""
+
+import pytest
+
+from repro.exceptions import SdnError
+from repro.net.addresses import MACAddress
+from repro.sdn.controller import SdnController
+from repro.sdn.openflow import FlowAction, FlowMatch, FlowRule
+from repro.sdn.switch import OpenVSwitch, SwitchPort
+
+from tests.conftest import make_tcp_packet, make_udp_packet
+
+DEVICE = MACAddress.from_string("02:00:00:00:00:10")
+OTHER = MACAddress.from_string("02:00:00:00:00:20")
+GATEWAY = MACAddress.from_string("02:00:00:00:00:01")
+
+
+class TestFlowMatch:
+    def test_wildcard_matches_everything(self):
+        packet = make_tcp_packet(DEVICE, GATEWAY, "10.0.0.2", "8.8.8.8")
+        assert FlowMatch().matches_packet(packet)
+        assert FlowMatch().specificity == 0
+
+    def test_mac_match(self):
+        packet = make_tcp_packet(DEVICE, GATEWAY, "10.0.0.2", "8.8.8.8")
+        assert FlowMatch(src_mac=DEVICE).matches_packet(packet)
+        assert not FlowMatch(src_mac=OTHER).matches_packet(packet)
+
+    def test_ip_and_port_match(self):
+        packet = make_tcp_packet(DEVICE, GATEWAY, "10.0.0.2", "52.1.1.1", dst_port=443)
+        assert FlowMatch(dst_ip="52.1.1.1", protocol="tcp", dst_port=443).matches_packet(packet)
+        assert not FlowMatch(dst_ip="52.1.1.2").matches_packet(packet)
+        assert not FlowMatch(protocol="udp").matches_packet(packet)
+
+    def test_ip_fields_do_not_match_non_ip_packets(self):
+        from repro.net.layers.arp import OP_REQUEST, ARPPacket
+        from repro.net.layers.ethernet import ETHERTYPE, EthernetFrame
+        from repro.net.packet import Packet
+
+        arp = Packet(
+            ethernet=EthernetFrame(dst=MACAddress.broadcast(), src=DEVICE, ethertype=ETHERTYPE.ARP),
+            arp=ARPPacket(OP_REQUEST, DEVICE, "0.0.0.0", MACAddress.zero(), "10.0.0.1"),
+        )
+        assert not FlowMatch(dst_ip="10.0.0.1").matches_packet(arp)
+        assert FlowMatch(src_mac=DEVICE).matches_packet(arp)
+
+    def test_specificity_counts_fields(self):
+        match = FlowMatch(src_mac=DEVICE, dst_ip="1.2.3.4", dst_port=80)
+        assert match.specificity == 3
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(SdnError):
+            FlowRule(match=FlowMatch(), action=FlowAction.DROP, priority=-1)
+
+
+class TestOpenVSwitch:
+    def test_priority_ordering(self):
+        switch = OpenVSwitch()
+        switch.install_rule(FlowRule(FlowMatch(src_mac=DEVICE), FlowAction.DROP, priority=10))
+        switch.install_rule(
+            FlowRule(FlowMatch(src_mac=DEVICE, dst_ip="52.1.1.1"), FlowAction.FORWARD, priority=50)
+        )
+        allowed = switch.process(make_tcp_packet(DEVICE, GATEWAY, "10.0.0.2", "52.1.1.1"))
+        blocked = switch.process(make_tcp_packet(DEVICE, GATEWAY, "10.0.0.2", "8.8.8.8"))
+        assert allowed.forwarded
+        assert blocked.dropped
+        assert switch.packets_processed == 2
+        assert switch.packets_dropped == 1
+
+    def test_rule_hit_counters(self):
+        switch = OpenVSwitch()
+        rule = FlowRule(FlowMatch(src_mac=DEVICE), FlowAction.FORWARD, priority=1)
+        switch.install_rule(rule)
+        switch.process(make_tcp_packet(DEVICE, GATEWAY, "10.0.0.2", "8.8.8.8"))
+        switch.process(make_tcp_packet(DEVICE, GATEWAY, "10.0.0.2", "8.8.4.4"))
+        assert rule.packet_count == 2
+
+    def test_default_action_on_miss(self):
+        permissive = OpenVSwitch(default_action=FlowAction.FORWARD)
+        restrictive = OpenVSwitch(default_action=FlowAction.DROP)
+        packet = make_udp_packet(DEVICE, GATEWAY, "10.0.0.2", "8.8.8.8")
+        assert permissive.process(packet).forwarded
+        assert restrictive.process(packet).dropped
+
+    def test_packet_in_handler_invoked_on_miss(self):
+        seen = []
+
+        def handler(packet, switch):
+            seen.append(packet)
+            return FlowAction.DROP
+
+        switch = OpenVSwitch(packet_in_handler=handler)
+        decision = switch.process(make_udp_packet(DEVICE, GATEWAY, "10.0.0.2", "8.8.8.8"))
+        assert decision.dropped
+        assert decision.sent_to_controller
+        assert len(seen) == 1
+        assert switch.packets_to_controller == 1
+
+    def test_send_to_controller_action(self):
+        switch = OpenVSwitch(packet_in_handler=lambda packet, sw: FlowAction.FORWARD)
+        switch.install_rule(FlowRule(FlowMatch(src_mac=DEVICE), FlowAction.SEND_TO_CONTROLLER, priority=5))
+        decision = switch.process(make_udp_packet(DEVICE, GATEWAY, "10.0.0.2", "8.8.8.8"))
+        assert decision.forwarded
+        assert decision.sent_to_controller
+
+    def test_remove_rules_by_cookie(self):
+        switch = OpenVSwitch()
+        switch.install_rule(FlowRule(FlowMatch(src_mac=DEVICE), FlowAction.DROP, priority=1, cookie="a"))
+        switch.install_rule(FlowRule(FlowMatch(src_mac=OTHER), FlowAction.DROP, priority=1, cookie="b"))
+        assert switch.remove_rules("a") == 1
+        assert switch.rule_count == 1
+        with pytest.raises(SdnError):
+            switch.remove_rules("")
+
+    def test_flush(self):
+        switch = OpenVSwitch()
+        switch.install_rule(FlowRule(FlowMatch(), FlowAction.DROP, priority=1))
+        switch.flush()
+        assert switch.rule_count == 0
+
+    def test_port_learning(self):
+        switch = OpenVSwitch()
+        switch.process(make_udp_packet(DEVICE, GATEWAY, "10.0.0.2", "8.8.8.8"), ingress_port=SwitchPort.WIFI)
+        assert switch.port_of(DEVICE) == SwitchPort.WIFI
+        assert switch.port_of(OTHER) is None
+
+
+class TestSdnController:
+    def test_attach_and_dispatch(self):
+        controller = SdnController()
+        switch = OpenVSwitch()
+        controller.attach_switch(switch)
+
+        class DropModule:
+            name = "drop-all"
+
+            def on_packet_in(self, packet, switch):
+                return FlowAction.DROP
+
+        controller.register_module(DropModule())
+        decision = switch.process(make_udp_packet(DEVICE, GATEWAY, "10.0.0.2", "8.8.8.8"))
+        assert decision.dropped
+        assert controller.packet_in_count == 1
+
+    def test_modules_consulted_in_order(self):
+        controller = SdnController()
+        switch = OpenVSwitch()
+        controller.attach_switch(switch)
+        calls = []
+
+        class Pass:
+            name = "pass"
+
+            def on_packet_in(self, packet, switch):
+                calls.append("pass")
+                return None
+
+        class Allow:
+            name = "allow"
+
+            def on_packet_in(self, packet, switch):
+                calls.append("allow")
+                return FlowAction.FORWARD
+
+        controller.register_module(Pass())
+        controller.register_module(Allow())
+        switch.process(make_udp_packet(DEVICE, GATEWAY, "10.0.0.2", "8.8.8.8"))
+        assert calls == ["pass", "allow"]
+
+    def test_duplicate_switch_and_module_rejected(self):
+        controller = SdnController()
+        switch = OpenVSwitch()
+        controller.attach_switch(switch)
+        with pytest.raises(SdnError):
+            controller.attach_switch(OpenVSwitch())
+
+        class Module:
+            name = "m"
+
+            def on_packet_in(self, packet, switch):
+                return None
+
+        controller.register_module(Module())
+        with pytest.raises(SdnError):
+            controller.register_module(Module())
+
+    def test_install_rule_via_controller(self):
+        controller = SdnController()
+        switch = OpenVSwitch(name="br0")
+        controller.attach_switch(switch)
+        controller.install_rule("br0", FlowRule(FlowMatch(src_mac=DEVICE), FlowAction.DROP, priority=3, cookie="x"))
+        assert switch.rule_count == 1
+        assert controller.remove_rules("br0", "x") == 1
+        with pytest.raises(SdnError):
+            controller.switch("missing")
+
+    def test_detach_switch(self):
+        controller = SdnController()
+        switch = OpenVSwitch()
+        controller.attach_switch(switch)
+        controller.detach_switch(switch.name)
+        assert switch.packet_in_handler is None

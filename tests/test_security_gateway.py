@@ -1,0 +1,184 @@
+"""Tests for the Security Gateway (onboarding, authorisation, datapath)."""
+
+import pytest
+
+from repro.devices.catalog import DEVICE_CATALOG
+from repro.devices.simulator import SetupTrafficSimulator
+from repro.exceptions import EnforcementError
+from repro.gateway.enforcement import NetworkOverlay
+from repro.gateway.security_gateway import SecurityGateway
+from repro.net.addresses import MACAddress
+from repro.security_service.isolation import IsolationLevel
+from repro.security_service.service import IoTSecurityService, SecurityAssessment
+from repro.security_service.vulnerability import VulnerabilityRecord
+
+from tests.conftest import make_tcp_packet, make_udp_packet
+
+EXTERNAL_MAC = MACAddress.from_string("02:00:00:00:0e:ee")
+
+
+@pytest.fixture()
+def service(trained_identifier):
+    return IoTSecurityService(identifier=trained_identifier)
+
+
+@pytest.fixture()
+def gateway(service):
+    return SecurityGateway(security_service=service)
+
+
+def _onboard(gateway, name, seed=812):
+    simulator = SetupTrafficSimulator(seed=seed)
+    trace = simulator.simulate(DEVICE_CATALOG[name])
+    record = gateway.onboard_device(trace.packets)
+    return record, trace
+
+
+class TestOnboarding:
+    def test_vulnerable_device_restricted_and_untrusted(self, gateway):
+        record, _ = _onboard(gateway, "EdnetCam")
+        assert record.device_type == "EdnetCam"
+        assert record.isolation_level is IsolationLevel.RESTRICTED
+        assert record.overlay is NetworkOverlay.UNTRUSTED
+        assert record.enforcement_rule is not None
+        assert record.enforcement_rule.allowed_destinations
+        assert gateway.rule_cache.lookup(record.mac) is record.enforcement_rule
+        assert gateway.switch.rule_count >= 2
+
+    def test_clean_device_trusted_and_rekeyed(self, gateway):
+        record, _ = _onboard(gateway, "Aria", seed=813)
+        assert record.isolation_level is IsolationLevel.TRUSTED
+        assert record.overlay is NetworkOverlay.TRUSTED
+        credential = gateway.wps.credential_of(record.mac)
+        assert credential is not None
+        assert credential.overlay is NetworkOverlay.TRUSTED
+        assert gateway.wps.rekey_count == 1
+
+    def test_unknown_device_strict(self, gateway):
+        record, _ = _onboard(gateway, "MAXGateway", seed=814)
+        assert record.device_type == "unknown"
+        assert record.isolation_level is IsolationLevel.STRICT
+
+    def test_empty_capture_rejected(self, gateway):
+        with pytest.raises(EnforcementError):
+            gateway.onboard_device([])
+
+    def test_onboarding_without_service_rejected(self):
+        gateway = SecurityGateway(security_service=None)
+        simulator = SetupTrafficSimulator(seed=1)
+        trace = simulator.simulate(DEVICE_CATALOG["Aria"])
+        with pytest.raises(EnforcementError):
+            gateway.onboard_device(trace.packets)
+
+    def test_critical_vulnerability_triggers_notification(self, gateway):
+        record, _ = _onboard(gateway, "D-LinkCam", seed=815)  # severity 9.1 in the seeded DB
+        assert record.device_type == "D-LinkCam"
+        assert gateway.notifications
+        assert "D-LinkCam" in gateway.notifications[0]
+
+    def test_disconnect_cleans_up(self, gateway):
+        record, _ = _onboard(gateway, "EdnetCam", seed=816)
+        gateway.disconnect_device(record.mac)
+        assert record.mac not in gateway.devices
+        assert gateway.rule_cache.lookup(record.mac) is None
+        assert all(rule.cookie != f"enforce-{record.mac}" for rule in gateway.switch.rules)
+
+
+class TestAuthorization:
+    def _record_of(self, gateway, name, seed):
+        record, _ = _onboard(gateway, name, seed=seed)
+        return record
+
+    def test_restricted_device_cloud_only(self, gateway):
+        record = self._record_of(gateway, "EdnetCam", 820)
+        allowed_ip = record.enforcement_rule.allowed_destinations[0]
+        to_cloud = make_tcp_packet(record.mac, EXTERNAL_MAC, record.ip_address, allowed_ip, dst_port=443)
+        to_other = make_tcp_packet(record.mac, EXTERNAL_MAC, record.ip_address, "8.8.8.8", dst_port=80)
+        assert gateway.authorize(to_cloud).allowed
+        assert not gateway.authorize(to_other).allowed
+
+    def test_trusted_device_reaches_internet(self, gateway):
+        record = self._record_of(gateway, "Aria", 821)
+        packet = make_tcp_packet(record.mac, EXTERNAL_MAC, record.ip_address, "93.184.216.34", dst_port=443)
+        assert gateway.authorize(packet).allowed
+
+    def test_strict_device_blocked_from_internet(self, gateway):
+        record = self._record_of(gateway, "MAXGateway", 822)
+        packet = make_tcp_packet(record.mac, EXTERNAL_MAC, record.ip_address, "93.184.216.34", dst_port=80)
+        assert not gateway.authorize(packet).allowed
+
+    def test_overlay_separation(self, gateway):
+        trusted = self._record_of(gateway, "Aria", 823)
+        untrusted = self._record_of(gateway, "EdnetCam", 824)
+        trusted_to_untrusted = make_tcp_packet(
+            trusted.mac, untrusted.mac, trusted.ip_address, untrusted.ip_address, dst_port=80
+        )
+        untrusted_to_untrusted_peer = make_tcp_packet(
+            untrusted.mac, trusted.mac, untrusted.ip_address, trusted.ip_address, dst_port=80
+        )
+        assert not gateway.authorize(trusted_to_untrusted).allowed
+        assert not gateway.authorize(untrusted_to_untrusted_peer).allowed
+
+    def test_untrusted_devices_may_talk_to_each_other(self, gateway):
+        first = self._record_of(gateway, "EdnetCam", 825)
+        second = self._record_of(gateway, "MAXGateway", 826)
+        packet = make_udp_packet(first.mac, second.mac, first.ip_address, second.ip_address, dst_port=5000)
+        assert gateway.authorize(packet).allowed
+
+    def test_filtering_disabled_allows_everything(self, service):
+        gateway = SecurityGateway(security_service=service, filtering_enabled=False)
+        record, _ = _onboard(gateway, "EdnetCam", seed=827)
+        packet = make_tcp_packet(record.mac, EXTERNAL_MAC, record.ip_address, "8.8.8.8", dst_port=80)
+        assert gateway.authorize(packet).allowed
+
+    def test_counters(self, gateway):
+        record = self._record_of(gateway, "MAXGateway", 828)
+        allowed_before = gateway.packets_allowed
+        blocked_before = gateway.packets_blocked
+        gateway.authorize(make_tcp_packet(record.mac, EXTERNAL_MAC, record.ip_address, "8.8.8.8"))
+        assert gateway.packets_blocked == blocked_before + 1
+        assert gateway.packets_allowed == allowed_before
+
+
+class TestDatapath:
+    def test_handle_packet_uses_flow_table_and_controller(self, gateway):
+        # Install a deterministic restricted assessment directly: this test
+        # exercises the switch datapath, not the identification stage.
+        mac = MACAddress.from_string("02:00:00:00:0d:01")
+        gateway.connect_device(mac, ip_address="192.168.0.55")
+        assessment = SecurityAssessment(
+            device_type="EdnetCam",
+            isolation_level=IsolationLevel.RESTRICTED,
+            vulnerabilities=(VulnerabilityRecord("CVE-SIM-1", "EdnetCam", "test", 5.0),),
+            allowed_destinations=("52.28.10.10",),
+        )
+        record = gateway.apply_assessment(mac, assessment)
+        decision = gateway.handle_packet(
+            make_tcp_packet(record.mac, EXTERNAL_MAC, "192.168.0.55", "52.28.10.10", dst_port=443)
+        )
+        assert decision.forwarded
+        blocked = gateway.handle_packet(
+            make_tcp_packet(record.mac, EXTERNAL_MAC, "192.168.0.55", "8.8.8.8", dst_port=80)
+        )
+        assert blocked.dropped
+
+    def test_processing_delay_larger_with_filtering(self, service):
+        filtering = SecurityGateway(security_service=service, filtering_enabled=True)
+        plain = SecurityGateway(security_service=service, filtering_enabled=False)
+        assert filtering.processing_delay_ms() > plain.processing_delay_ms()
+
+    def test_resource_sample_reflects_rule_cache(self, gateway):
+        _onboard(gateway, "EdnetCam", seed=831)
+        sample = gateway.resource_sample(concurrent_flows=50)
+        assert sample.filtering_enabled
+        assert sample.enforcement_rules == len(gateway.rule_cache)
+        assert 0 < sample.cpu_percent <= 100
+        assert sample.memory_mb > 0
+
+    def test_device_record_lookup(self, gateway):
+        record, _ = _onboard(gateway, "Aria", seed=832)
+        assert gateway.device_record(record.mac) is record
+        with pytest.raises(EnforcementError):
+            gateway.device_record(MACAddress(424242))
+        assert gateway.connected_device_count >= 1
+        assert record in gateway.devices_in_overlay(NetworkOverlay.TRUSTED)

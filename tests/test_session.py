@@ -1,0 +1,73 @@
+"""Tests for setup-phase detection and per-source capture splitting."""
+
+from repro.features.session import SetupPhaseDetector, split_by_source
+from repro.net.addresses import MACAddress
+
+from tests.conftest import make_udp_packet
+
+DEVICE_A = MACAddress.from_string("02:00:00:00:00:01")
+DEVICE_B = MACAddress.from_string("02:00:00:00:00:02")
+GATEWAY = MACAddress.from_string("02:00:00:00:00:99")
+
+
+def _burst(source, count, start, gap=0.1):
+    packets = []
+    for index in range(count):
+        packet = make_udp_packet(source, GATEWAY, "10.0.0.5", "10.0.0.1", dst_port=53)
+        packet.timestamp = start + index * gap
+        packets.append(packet)
+    return packets
+
+
+class TestSplitBySource:
+    def test_groups_by_mac(self):
+        packets = _burst(DEVICE_A, 3, 0.0) + _burst(DEVICE_B, 2, 0.05)
+        groups = split_by_source(packets)
+        assert len(groups[DEVICE_A]) == 3
+        assert len(groups[DEVICE_B]) == 2
+
+    def test_order_preserved(self):
+        packets = _burst(DEVICE_A, 5, 0.0)
+        groups = split_by_source(packets)
+        timestamps = [packet.timestamp for packet in groups[DEVICE_A]]
+        assert timestamps == sorted(timestamps)
+
+    def test_empty_capture(self):
+        assert split_by_source([]) == {}
+
+
+class TestSetupPhaseDetector:
+    def test_cuts_at_long_silence(self):
+        setup = _burst(DEVICE_A, 20, 0.0, gap=0.2)
+        idle_then_heartbeat = _burst(DEVICE_A, 5, 120.0, gap=30.0)
+        detector = SetupPhaseDetector(min_idle_seconds=10.0, idle_factor=5.0)
+        kept = detector.setup_slice(setup + idle_then_heartbeat)
+        assert len(kept) == 20
+
+    def test_keeps_everything_without_silence(self):
+        packets = _burst(DEVICE_A, 30, 0.0, gap=0.3)
+        detector = SetupPhaseDetector()
+        assert len(detector.setup_slice(packets)) == 30
+
+    def test_max_packets_cap(self):
+        packets = _burst(DEVICE_A, 50, 0.0, gap=0.1)
+        detector = SetupPhaseDetector(max_packets=25)
+        assert len(detector.setup_slice(packets)) == 25
+
+    def test_short_captures_untouched(self):
+        packets = _burst(DEVICE_A, 3, 0.0)
+        detector = SetupPhaseDetector()
+        assert len(detector.setup_slice(packets)) == 3
+
+    def test_empty(self):
+        assert SetupPhaseDetector().setup_slice([]) == []
+
+    def test_segment_capture_combines_split_and_cut(self):
+        capture = (
+            _burst(DEVICE_A, 10, 0.0, gap=0.2)
+            + _burst(DEVICE_B, 8, 1.0, gap=0.2)
+            + _burst(DEVICE_A, 3, 500.0, gap=60.0)
+        )
+        segments = SetupPhaseDetector().segment_capture(capture)
+        assert len(segments[DEVICE_A]) == 10
+        assert len(segments[DEVICE_B]) == 8

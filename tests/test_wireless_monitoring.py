@@ -1,0 +1,120 @@
+"""Tests for the WPS key manager and the device monitor."""
+
+import pytest
+
+from repro.exceptions import EnforcementError
+from repro.gateway.enforcement import NetworkOverlay
+from repro.gateway.monitoring import DeviceMonitor
+from repro.gateway.wireless import WPSKeyManager
+from repro.net.addresses import MACAddress
+
+from tests.conftest import make_udp_packet
+
+DEVICE = MACAddress.from_string("02:00:00:00:00:31")
+GATEWAY = MACAddress.from_string("02:00:00:00:00:01")
+
+
+class TestWPSKeyManager:
+    def test_issue_and_verify(self):
+        manager = WPSKeyManager()
+        credential = manager.issue(DEVICE)
+        assert manager.verify(DEVICE, credential.psk)
+        assert not manager.verify(DEVICE, "wrong")
+        assert manager.credential_of(DEVICE) == credential
+        assert len(manager) == 1
+
+    def test_keys_are_device_specific(self):
+        manager = WPSKeyManager()
+        first = manager.issue(MACAddress(1))
+        second = manager.issue(MACAddress(2))
+        assert first.psk != second.psk
+
+    def test_rekey_moves_overlay_and_rotates_psk(self):
+        manager = WPSKeyManager()
+        original = manager.issue(DEVICE, overlay=NetworkOverlay.UNTRUSTED)
+        rekeyed = manager.rekey(DEVICE, overlay=NetworkOverlay.TRUSTED, now=5.0)
+        assert rekeyed.overlay is NetworkOverlay.TRUSTED
+        assert rekeyed.psk != original.psk
+        assert not manager.verify(DEVICE, original.psk)
+        assert manager.verify(DEVICE, rekeyed.psk)
+        assert manager.rekey_count == 1
+
+    def test_rekey_unknown_device_rejected(self):
+        with pytest.raises(EnforcementError):
+            WPSKeyManager().rekey(DEVICE, overlay=NetworkOverlay.TRUSTED)
+
+    def test_revoke(self):
+        manager = WPSKeyManager()
+        credential = manager.issue(DEVICE)
+        assert manager.revoke(DEVICE)
+        assert not manager.verify(DEVICE, credential.psk)
+        assert not manager.revoke(MACAddress(99))
+
+    def test_psk_fingerprint_is_not_the_psk(self):
+        manager = WPSKeyManager()
+        credential = manager.issue(DEVICE)
+        assert credential.fingerprint != credential.psk
+        assert len(credential.fingerprint) == 12
+
+
+class TestDeviceMonitor:
+    def _packet(self, timestamp, dst_ip="8.8.8.8"):
+        packet = make_udp_packet(DEVICE, GATEWAY, "192.168.0.20", dst_ip)
+        packet.timestamp = timestamp
+        return packet
+
+    def test_monitoring_starts_on_first_packet(self):
+        monitor = DeviceMonitor()
+        assert monitor.observe(self._packet(0.0)) is None
+        assert monitor.is_monitoring(DEVICE)
+        assert monitor.packet_count(DEVICE) == 1
+        assert DEVICE in monitor.monitored_devices
+
+    def test_finalize_produces_fingerprint(self):
+        monitor = DeviceMonitor()
+        for index in range(5):
+            monitor.observe(self._packet(index * 0.2, dst_ip=f"8.8.8.{index + 1}"))
+        fingerprint = monitor.finalize(DEVICE)
+        assert fingerprint is not None
+        assert fingerprint.packet_count == 5
+        assert not monitor.is_monitoring(DEVICE)
+
+    def test_finalize_twice_returns_none(self):
+        monitor = DeviceMonitor()
+        monitor.observe(self._packet(0.0))
+        assert monitor.finalize(DEVICE) is not None
+        assert monitor.finalize(DEVICE) is None
+
+    def test_finalize_unknown_device(self):
+        assert DeviceMonitor().finalize(DEVICE) is None
+
+    def test_idle_timeout_completes_capture(self):
+        monitor = DeviceMonitor(idle_timeout=10.0)
+        for index in range(4):
+            monitor.observe(self._packet(index * 0.5, dst_ip=f"1.1.1.{index + 1}"))
+        fingerprint = monitor.observe(self._packet(100.0))
+        assert fingerprint is not None
+        assert fingerprint.packet_count == 4
+
+    def test_max_packets_completes_capture(self):
+        monitor = DeviceMonitor(max_packets=6)
+        fingerprint = None
+        for index in range(10):
+            fingerprint = monitor.observe(self._packet(index * 0.1, dst_ip=f"2.2.2.{index + 1}"))
+            if fingerprint is not None:
+                break
+        assert fingerprint is not None
+        assert not monitor.is_monitoring(DEVICE)
+
+    def test_packets_after_completion_ignored(self):
+        monitor = DeviceMonitor(max_packets=3)
+        for index in range(3):
+            monitor.observe(self._packet(index * 0.1, dst_ip=f"3.3.3.{index + 1}"))
+        assert monitor.observe(self._packet(1.0)) is None
+
+    def test_forget(self):
+        monitor = DeviceMonitor()
+        monitor.observe(self._packet(0.0))
+        monitor.forget(DEVICE)
+        assert not monitor.is_monitoring(DEVICE)
+        assert monitor.packet_count(DEVICE) == 0
