@@ -1,5 +1,6 @@
 """Legacy setup shim: the environment has no `wheel` package, so editable
-installs fall back to `python setup.py develop`, which this file enables."""
+installs fall back to `python setup.py develop`, which this file enables.
+All real packaging metadata lives in ``pyproject.toml``."""
 
 from setuptools import setup
 

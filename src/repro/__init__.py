@@ -16,6 +16,9 @@ The package is organised in layers that mirror the paper's system design:
 * :mod:`repro.devices` -- behaviour profiles and setup-traffic simulation
   for the 27 device-types of Table II.
 * :mod:`repro.datasets` -- fingerprint dataset construction and persistence.
+* :mod:`repro.streaming` -- the online identification pipeline: packet
+  sources, sharded incremental fingerprint assembly, batched/cached
+  dispatch and the bridge into gateway enforcement.
 * :mod:`repro.sdn`, :mod:`repro.gateway`, :mod:`repro.security_service` --
   the enforcement half of the paper: OpenFlow-like switch and controller,
   Security Gateway with enforcement-rule cache and isolation overlays, and
@@ -24,8 +27,52 @@ The package is organised in layers that mirror the paper's system design:
   used by the enforcement evaluation.
 * :mod:`repro.eval` -- experiment runners that regenerate every table and
   figure of the paper's evaluation section.
+
+The most commonly used entry points of every layer are re-exported here;
+``from repro import DeviceTypeIdentifier, StreamingPipeline`` is the
+intended way to consume the package.
 """
 
+from repro.features.fingerprint import Fingerprint, fingerprint_from_packets
+from repro.gateway.security_gateway import SecurityGateway
+from repro.identification.identifier import (
+    DeviceTypeIdentifier,
+    IdentificationResult,
+    UNKNOWN_DEVICE_TYPE,
+)
+from repro.identification.registry import FingerprintRegistry
+from repro.security_service.service import IoTSecurityService, SecurityAssessment
+from repro.streaming import (
+    BatchDispatcher,
+    GatewayEnforcementSink,
+    IdentificationCache,
+    IdentifiedDevice,
+    PacketSource,
+    PcapReplaySource,
+    ShardedFingerprintAssembler,
+    SimulatedSource,
+    StreamingPipeline,
+)
 from repro.version import __version__
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    "Fingerprint",
+    "fingerprint_from_packets",
+    "SecurityGateway",
+    "DeviceTypeIdentifier",
+    "IdentificationResult",
+    "UNKNOWN_DEVICE_TYPE",
+    "FingerprintRegistry",
+    "IoTSecurityService",
+    "SecurityAssessment",
+    "BatchDispatcher",
+    "GatewayEnforcementSink",
+    "IdentificationCache",
+    "IdentifiedDevice",
+    "PacketSource",
+    "PcapReplaySource",
+    "ShardedFingerprintAssembler",
+    "SimulatedSource",
+    "StreamingPipeline",
+]

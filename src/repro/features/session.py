@@ -9,6 +9,7 @@ implements that segmentation plus the per-source splitting of mixed captures.
 
 from __future__ import annotations
 
+import statistics
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -63,9 +64,9 @@ class SetupPhaseDetector:
             if gap < 0:
                 gap = 0.0
             if index >= self.min_packets and gaps:
-                median_gap = _median(gaps)
-                threshold = max(self.min_idle_seconds, self.idle_factor * median_gap)
-                if gap > threshold:
+                if gap_exceeds_setup_threshold(
+                    gap, gaps, self.min_idle_seconds, self.idle_factor
+                ):
                     cut = index
                     break
             gaps.append(gap)
@@ -79,12 +80,22 @@ class SetupPhaseDetector:
         }
 
 
-def _median(values: Sequence[float]) -> float:
-    ordered = sorted(values)
-    count = len(ordered)
-    if count == 0:
-        return 0.0
-    middle = count // 2
-    if count % 2:
-        return ordered[middle]
-    return (ordered[middle - 1] + ordered[middle]) / 2.0
+def median(values: Sequence[float]) -> float:
+    """Median of a gap sequence; 0.0 for an empty one (no gaps observed)."""
+    return float(statistics.median(values)) if values else 0.0
+
+
+def gap_exceeds_setup_threshold(
+    gap: float, gaps: Sequence[float], min_idle_seconds: float, idle_factor: float
+) -> bool:
+    """The paper's end-of-setup test: the silence outgrew the packet rate.
+
+    True when ``gap`` exceeds both ``min_idle_seconds`` and ``idle_factor``
+    times the median of the inter-packet gaps observed so far.  This is the
+    single definition of the cut rule, shared by the offline
+    :class:`SetupPhaseDetector` and the streaming assembler's online
+    end-of-setup decision, so retuning it cannot diverge the two.
+    """
+    if gap <= min_idle_seconds:
+        return False  # cheap early-out: skips the median on the hot path
+    return gap > idle_factor * median(gaps)

@@ -1,0 +1,297 @@
+"""Sharded, incremental assembly of device fingerprints from a packet stream.
+
+The offline pipeline buffers a device's whole setup capture and only then
+extracts features (:class:`~repro.gateway.monitoring.DeviceMonitor`).  The
+streaming assembler instead folds each packet into the device's fingerprint
+matrix the moment it arrives: one stateful
+:class:`~repro.features.packet_features.PacketFeatureExtractor` per device,
+consecutive-duplicate suppression done on the fly, and an emission decision
+per packet.  Devices are partitioned into ``hash(mac) % shards`` buckets so
+that idle-eviction sweeps touch one bucket at a time and the assembler can
+later be split across workers without re-keying.
+
+A fingerprint is emitted when
+
+* the paper's setup packet budget is reached (``reason="budget"``),
+* the device's packet rate drops (``reason="idle"``) -- the paper's
+  end-of-setup criterion, detected online with the same adaptive rule
+  :class:`~repro.features.session.SetupPhaseDetector` applies offline: a
+  gap exceeding ``max(min_idle_seconds, idle_factor * median gap)`` cuts
+  the capture when the device's own next packet reveals it, and an
+  explicit :meth:`ShardedFingerprintAssembler.evict_idle` sweep driven by
+  the pipeline clock catches devices that never speak again, or
+* the stream ends and :meth:`ShardedFingerprintAssembler.flush` drains the
+  partial captures (``reason="flush"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.features.fingerprint import Fingerprint
+from repro.features.packet_features import PacketFeatureExtractor
+from repro.features.session import SetupPhaseDetector, gap_exceeds_setup_threshold
+from repro.net.addresses import MACAddress
+from repro.net.packet import Packet
+
+EMIT_BUDGET = "budget"
+EMIT_IDLE = "idle"
+EMIT_FLUSH = "flush"
+
+
+@dataclass(frozen=True)
+class ReadyFingerprint:
+    """A completed fingerprint leaving the assembly stage."""
+
+    mac: MACAddress
+    fingerprint: Fingerprint
+    reason: str
+    completed_at: float = 0.0
+
+    @property
+    def packet_count(self) -> int:
+        return self.fingerprint.packet_count
+
+
+@dataclass
+class AssemblerStats:
+    """Counters of the assembly stage."""
+
+    packets_observed: int = 0
+    fingerprints_emitted: int = 0
+    budget_emissions: int = 0
+    idle_emissions: int = 0
+    flush_emissions: int = 0
+    min_signal_drops: int = 0
+
+
+@dataclass
+class _DeviceAssembler:
+    """Incremental fingerprint state of one device."""
+
+    mac: MACAddress
+    extractor: PacketFeatureExtractor = field(default_factory=PacketFeatureExtractor)
+    rows: list[np.ndarray] = field(default_factory=list)
+    gaps: list[float] = field(default_factory=list)
+    raw_packets: int = 0
+    last_seen: float = 0.0
+
+    def observe(self, packet: Packet) -> None:
+        row = self.extractor.extract(packet)
+        # Consecutive-duplicate suppression of Eq. (1), done incrementally.
+        if not self.rows or not np.array_equal(row, self.rows[-1]):
+            self.rows.append(row)
+        if self.raw_packets:
+            self.gaps.append(max(0.0, packet.timestamp - self.last_seen))
+        self.raw_packets += 1
+        self.last_seen = packet.timestamp
+
+    def gap_ends_setup(
+        self, gap: float, min_idle_seconds: float, idle_factor: float, min_packets: int
+    ) -> bool:
+        """The paper's end-of-setup rule: the packet rate dropped.
+
+        Mirrors :class:`~repro.features.session.SetupPhaseDetector`,
+        including its guards: the capture is never cut before
+        ``min_packets`` packets (an early-setup pause, e.g. a DHCP retry,
+        must not truncate the fingerprint), and the threshold itself is the
+        shared :func:`~repro.features.session.gap_exceeds_setup_threshold`.
+        """
+        if self.raw_packets < min_packets:
+            return False
+        if not self.gaps:
+            # Mirrors the offline detector's `and gaps` guard: a single
+            # packet gives no rate estimate to compare the silence against.
+            return False
+        return gap_exceeds_setup_threshold(gap, self.gaps, min_idle_seconds, idle_factor)
+
+    def to_fingerprint(self) -> Fingerprint:
+        # Rows are already consecutive-deduplicated on the fly.
+        return Fingerprint.from_feature_rows(
+            self.rows, device_mac=str(self.mac), deduplicate=False
+        )
+
+
+class ShardedFingerprintAssembler:
+    """Per-device incremental fingerprint assembly over N shards.
+
+    Attributes:
+        shards: number of hash buckets devices are partitioned into.
+        packet_budget: raw packets per device after which the fingerprint
+            is emitted (250 in the reproduction's device monitor).
+        min_packets: the cut guard of the end-of-setup rule -- a capture is
+            never cut before this many raw packets, exactly as in the
+            offline detector.
+        min_rows: captures whose deduplicated fingerprint matrix has fewer
+            rows than this are discarded instead of emitted.  The default
+            of 1 matches the offline device monitor (every non-empty
+            capture is assessed, low-signal ones simply come back
+            "unknown"/strict); raise it to shed e.g. beacon-only devices
+            that collapse to a single repeated row, at the cost of those
+            devices never receiving a verdict.
+        idle_timeout: silence, in stream-time seconds, after which an
+            :meth:`evict_idle` sweep considers a device's capture complete
+            (the device may never speak again, so this needs no median).
+        min_idle_seconds / idle_factor: the adaptive end-of-setup rule
+            applied when a device's own next packet reveals a gap --
+            identical semantics to the offline
+            :class:`~repro.features.session.SetupPhaseDetector`, whose
+            defaults (and ``min_packets``) are inherited when not given,
+            so online fingerprints match what the classifiers were
+            trained on even if the detector is retuned.
+    """
+
+    def __init__(
+        self,
+        shards: int = 8,
+        packet_budget: int = 250,
+        min_packets: Optional[int] = None,
+        min_rows: int = 1,
+        idle_timeout: float = 15.0,
+        min_idle_seconds: Optional[float] = None,
+        idle_factor: Optional[float] = None,
+    ):
+        if shards <= 0:
+            raise SimulationError(f"shard count must be positive, got {shards}")
+        if packet_budget <= 0:
+            raise SimulationError(f"packet budget must be positive, got {packet_budget}")
+        self.shards = shards
+        self.packet_budget = packet_budget
+        self.min_packets = (
+            SetupPhaseDetector.min_packets if min_packets is None else min_packets
+        )
+        self.min_rows = min_rows
+        self.idle_timeout = idle_timeout
+        self.min_idle_seconds = (
+            SetupPhaseDetector.min_idle_seconds if min_idle_seconds is None else min_idle_seconds
+        )
+        self.idle_factor = SetupPhaseDetector.idle_factor if idle_factor is None else idle_factor
+        self.stats = AssemblerStats()
+        self._buckets: list[dict[MACAddress, _DeviceAssembler]] = [{} for _ in range(shards)]
+
+    # ------------------------------------------------------------------ #
+    # Routing.
+    # ------------------------------------------------------------------ #
+    def shard_of(self, mac: MACAddress) -> int:
+        """The bucket index a device is routed to (stable across calls)."""
+        return hash(mac) % self.shards
+
+    def _bucket(self, mac: MACAddress) -> dict[MACAddress, _DeviceAssembler]:
+        return self._buckets[self.shard_of(mac)]
+
+    @property
+    def active_devices(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets)
+
+    def shard_sizes(self) -> list[int]:
+        """Devices currently assembling, per shard (for load inspection)."""
+        return [len(bucket) for bucket in self._buckets]
+
+    def is_assembling(self, mac: MACAddress) -> bool:
+        return mac in self._bucket(mac)
+
+    # ------------------------------------------------------------------ #
+    # Stream input.
+    # ------------------------------------------------------------------ #
+    def observe(self, packet: Packet) -> Optional[ReadyFingerprint]:
+        """Fold one packet in; returns a fingerprint if one completed.
+
+        A packet arriving after the device's packet rate dropped (the
+        adaptive end-of-setup rule) first completes the previous capture,
+        then starts a fresh one -- the same device re-running its setup
+        (factory reset, reconnect) therefore produces a new fingerprint
+        instead of polluting the old matrix.
+        """
+        self.stats.packets_observed += 1
+        mac = packet.src_mac
+        bucket = self._bucket(mac)
+        device = bucket.get(mac)
+
+        completed: Optional[ReadyFingerprint] = None
+        if device is not None and device.gap_ends_setup(
+            packet.timestamp - device.last_seen,
+            self.min_idle_seconds,
+            self.idle_factor,
+            self.min_packets,
+        ):
+            completed = self._finalize(device, EMIT_IDLE, packet.timestamp)
+            device = None
+        if device is None:
+            device = _DeviceAssembler(mac=mac, last_seen=packet.timestamp)
+            bucket[mac] = device
+
+        device.observe(packet)
+        if device.raw_packets >= self.packet_budget:
+            budget_ready = self._finalize(device, EMIT_BUDGET, packet.timestamp)
+            # An idle completion and a budget completion cannot coincide.
+            # `completed` requires a persisting previous capture, which only
+            # exists when packet_budget >= 2; `budget_ready` on the same
+            # packet then requires raw_packets >= 2, impossible for the
+            # fresh capture this packet just started.
+            return completed or budget_ready
+        return completed
+
+    # ------------------------------------------------------------------ #
+    # Eviction and flushing.
+    # ------------------------------------------------------------------ #
+    def evict_idle(self, now: float, shard: Optional[int] = None) -> list[ReadyFingerprint]:
+        """Complete every capture that has been quiet for ``idle_timeout``.
+
+        With ``shard`` given only that bucket is swept, letting a caller
+        amortise eviction cost round-robin across shards.
+        """
+        buckets = self._buckets if shard is None else [self._buckets[shard % self.shards]]
+        ready: list[ReadyFingerprint] = []
+        for bucket in buckets:
+            expired = [
+                device
+                for device in bucket.values()
+                if now - device.last_seen > self.idle_timeout
+            ]
+            for device in expired:
+                emitted = self._finalize(device, EMIT_IDLE, now)
+                if emitted is not None:
+                    ready.append(emitted)
+        return ready
+
+    def flush(self, now: float = 0.0) -> list[ReadyFingerprint]:
+        """Emit every in-progress capture (stream ended)."""
+        ready: list[ReadyFingerprint] = []
+        for bucket in self._buckets:
+            for device in list(bucket.values()):
+                emitted = self._finalize(device, EMIT_FLUSH, now or device.last_seen)
+                if emitted is not None:
+                    ready.append(emitted)
+        return ready
+
+    def _finalize(
+        self, device: _DeviceAssembler, reason: str, completed_at: float
+    ) -> Optional[ReadyFingerprint]:
+        self._bucket(device.mac).pop(device.mac, None)
+        # Signal is measured after consecutive-duplicate suppression: 250
+        # identical beacons collapse to one fingerprint row and classify no
+        # better than a single packet would, whichever way the capture ended.
+        if len(device.rows) < self.min_rows:
+            self.stats.min_signal_drops += 1
+            return None
+        self.stats.fingerprints_emitted += 1
+        if reason == EMIT_BUDGET:
+            self.stats.budget_emissions += 1
+        elif reason == EMIT_IDLE:
+            self.stats.idle_emissions += 1
+        else:
+            self.stats.flush_emissions += 1
+        return ReadyFingerprint(
+            mac=device.mac,
+            fingerprint=device.to_fingerprint(),
+            reason=reason,
+            completed_at=completed_at,
+        )
+
+    def __iter__(self) -> Iterator[MACAddress]:
+        for bucket in self._buckets:
+            yield from bucket

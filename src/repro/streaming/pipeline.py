@@ -1,0 +1,235 @@
+"""The streaming identification pipeline: source -> assembler -> dispatcher.
+
+This is the online counterpart of the offline evaluation loop: packets are
+consumed one at a time, folded into per-device fingerprints, identified in
+batches, and the verdicts are pushed to a callback -- typically a
+:class:`GatewayEnforcementSink` that turns each identification into an
+enforcement rule on a :class:`~repro.gateway.security_gateway.SecurityGateway`.
+
+Stream time (packet timestamps) drives a shared
+:class:`~repro.simulation.clock.SimulatedClock`, which in turn drives the
+assembler's idle eviction: every ``eviction_interval`` stream-seconds one
+shard is swept round-robin, so eviction cost is amortised instead of
+scanning every device on every packet.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.gateway.security_gateway import SecurityGateway
+from repro.identification.identifier import UNKNOWN_DEVICE_TYPE
+from repro.security_service.service import IoTSecurityService
+from repro.simulation.clock import SimulatedClock
+from repro.streaming.assembler import AssemblerStats, ShardedFingerprintAssembler
+from repro.streaming.dispatcher import BatchDispatcher, DispatcherStats, IdentifiedDevice
+from repro.streaming.sources import PacketSource
+
+
+@dataclass
+class PipelineStats:
+    """End-of-run summary of one pipeline execution.
+
+    Top-level fields cover this run only, even when the dispatcher and its
+    cache are shared across runs (warm start); the embedded ``assembler``
+    and ``dispatcher`` stats are those components' lifetime counters.
+    """
+
+    packets: int = 0
+    fingerprints: int = 0
+    identified: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+    assemble_seconds: float = 0.0
+    identify_seconds: float = 0.0
+    dropped: int = 0
+    assembler: AssemblerStats = field(default_factory=AssemblerStats)
+    dispatcher: DispatcherStats = field(default_factory=DispatcherStats)
+
+    @property
+    def packets_per_second(self) -> float:
+        return self.packets / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.packets} packets -> {self.fingerprints} fingerprints -> "
+            f"{self.identified} identified ({self.cache_hits} from cache) | "
+            f"{self.packets_per_second:,.0f} pkt/s, "
+            f"assembly {self.assemble_seconds * 1000:.1f} ms, "
+            f"identification {self.identify_seconds * 1000:.1f} ms"
+        )
+
+
+class StreamingPipeline:
+    """Wires a packet source through assembly and dispatch to a callback.
+
+    Attributes:
+        source: where packets come from (pcap replay, simulation, ...).
+        assembler: the sharded incremental fingerprint stage.
+        dispatcher: the batching/caching identification stage.
+        on_identified: invoked once per identified device, in the order
+            verdicts become available -- with caching/batching enabled this
+            can differ from fingerprint completion order (a cache hit is
+            delivered immediately while earlier misses wait for their
+            batch).  Exceptions propagate (the pipeline performs
+            enforcement, it must not silently lose verdicts).
+        clock: shared stream clock; advanced to each packet's timestamp.
+        eviction_interval: stream-seconds between idle-eviction sweeps
+            (one shard per sweep, round-robin).
+    """
+
+    def __init__(
+        self,
+        source: PacketSource,
+        dispatcher: BatchDispatcher,
+        assembler: Optional[ShardedFingerprintAssembler] = None,
+        on_identified: Optional[Callable[[IdentifiedDevice], None]] = None,
+        clock: Optional[SimulatedClock] = None,
+        eviction_interval: float = 1.0,
+    ):
+        self.source = source
+        self.assembler = assembler or ShardedFingerprintAssembler()
+        self.dispatcher = dispatcher
+        self.on_identified = on_identified
+        self.clock = clock or SimulatedClock()
+        self.eviction_interval = eviction_interval
+        self.stats = PipelineStats()
+        self._next_eviction = self.clock.now() + eviction_interval
+        self._eviction_shard = 0
+        # A dispatcher (and its cache) may be shared across pipeline runs
+        # (warm start); snapshot their lifetime counters so this run's
+        # top-level stats report only its own work.  The embedded
+        # stats.dispatcher / stats.assembler remain the components'
+        # lifetime views.
+        cache = dispatcher.cache
+        self._cache_hits_before = cache.hits if cache is not None else 0
+        self._cache_misses_before = cache.misses if cache is not None else 0
+        self._identify_seconds_before = dispatcher.stats.identify_seconds
+        self._dropped_before = dispatcher.stats.dropped
+
+    # ------------------------------------------------------------------ #
+    # Execution.
+    # ------------------------------------------------------------------ #
+    def run(self) -> PipelineStats:
+        """Consume the whole source and return the run statistics."""
+        for _ in self.results():
+            pass  # results() already delivered it to the callback
+        return self.stats
+
+    def results(self) -> Iterator[IdentifiedDevice]:
+        """Drive the stream, yielding identifications as they happen.
+
+        If the consumer stops iterating early, the remaining captures are
+        still flushed and their verdicts delivered to ``on_identified``
+        when the generator closes -- they just cannot be yielded any more.
+        """
+        started = time.perf_counter()
+        try:
+            for packet in self.source.packets():
+                yield from self.process_packet(packet)
+            for item in self.finish():
+                yield item
+        finally:
+            # No-op after a complete run; on early exit this drains the
+            # pipeline so enforcement never silently misses a device.
+            self.finish()
+            self.stats.wall_seconds = time.perf_counter() - started
+
+    def process_packet(self, packet) -> list[IdentifiedDevice]:
+        """Feed a single packet through every stage (single-step API)."""
+        self.stats.packets += 1
+        if packet.timestamp > self.clock.now():
+            self.clock.advance(packet.timestamp - self.clock.now())
+
+        start = time.perf_counter()
+        ready = self.assembler.observe(packet)
+        completed = [ready] if ready is not None else []
+        now = self.clock.now()
+        if now >= self._next_eviction:
+            completed.extend(self.assembler.evict_idle(now, shard=self._eviction_shard))
+            self._eviction_shard = (self._eviction_shard + 1) % self.assembler.shards
+            self._next_eviction = now + self.eviction_interval
+        self.stats.assemble_seconds += time.perf_counter() - start
+
+        identified: list[IdentifiedDevice] = []
+        for item in completed:
+            self.stats.fingerprints += 1
+            identified.extend(self.dispatcher.submit(item))
+        # Lingering partial batches are flushed on the stream clock, so a
+        # trickle of devices is identified promptly instead of waiting for
+        # a full batch (or end-of-stream drain) that may never come.
+        identified.extend(self.dispatcher.poll(now))
+        self._deliver(identified)
+        return identified
+
+    def finish(self) -> list[IdentifiedDevice]:
+        """Flush the assembler and drain the dispatcher (end of stream)."""
+        identified: list[IdentifiedDevice] = []
+        for item in self.assembler.flush(self.clock.now()):
+            self.stats.fingerprints += 1
+            identified.extend(self.dispatcher.submit(item))
+        identified.extend(self.dispatcher.drain())
+        self._deliver(identified)
+        self._collect_stats()
+        return identified
+
+    def _deliver(self, identified: list[IdentifiedDevice]) -> None:
+        self.stats.identified += len(identified)
+        if self.on_identified is not None:
+            for item in identified:
+                self.on_identified(item)
+
+    def _collect_stats(self) -> None:
+        self.stats.assembler = self.assembler.stats
+        self.stats.dispatcher = self.dispatcher.stats
+        self.stats.identify_seconds = (
+            self.dispatcher.stats.identify_seconds - self._identify_seconds_before
+        )
+        self.stats.dropped = self.dispatcher.stats.dropped - self._dropped_before
+        cache = self.dispatcher.cache
+        if cache is not None:
+            self.stats.cache_hits = cache.hits - self._cache_hits_before
+            self.stats.cache_misses = cache.misses - self._cache_misses_before
+
+
+@dataclass
+class GatewayEnforcementSink:
+    """An ``on_identified`` callback that enforces verdicts on a gateway.
+
+    Each identified device is assessed by the IoT Security Service (the
+    identification itself already happened in the dispatcher, so only the
+    vulnerability lookup and isolation-level derivation run here) and the
+    resulting rule is installed on the Security Gateway.
+
+    A device that keeps talking after setup produces later steady-state
+    fingerprints the classifiers were never trained on, which typically
+    assess as "unknown".  With ``sticky`` (the default) such an unknown
+    verdict never downgrades a device whose record already carries an
+    identified type -- only fresh devices and re-identifications to a
+    known type change enforcement.  Set ``sticky=False`` to apply every
+    verdict verbatim (e.g. when deliberately re-profiling a fleet).
+    """
+
+    gateway: SecurityGateway
+    security_service: IoTSecurityService
+    sticky: bool = True
+    enforced: int = 0
+    skipped_downgrades: int = 0
+
+    def __call__(self, identified: IdentifiedDevice) -> None:
+        if self.sticky and identified.result.is_new_device_type:
+            record = self.gateway.devices.get(identified.mac)
+            if record is not None and record.device_type not in (None, UNKNOWN_DEVICE_TYPE):
+                self.skipped_downgrades += 1
+                return
+        assessment = self.security_service.assess_device_type(identified.result.device_type)
+        self.gateway.apply_assessment(identified.mac, assessment)
+        self.enforced += 1

@@ -55,4 +55,19 @@ class TestNormalizedDistance:
             normalized_damerau_levenshtein("", "")
 
     def test_one_empty(self):
+        # The documented contract: exactly one empty sequence is maximal
+        # dissimilarity, regardless of which side is empty or how long the
+        # other side is.
         assert normalized_damerau_levenshtein("", "ab") == 1.0
+        assert normalized_damerau_levenshtein("ab", "") == 1.0
+        assert normalized_damerau_levenshtein("", "x" * 100) == 1.0
+
+    def test_interning_matches_plain_tuple_equality(self):
+        # Packet-column symbols with long shared prefixes (the interning
+        # fast path) must give the same distances as plain comparison.
+        base = (0, 0, 1, 0, 0, 0, 1, 0, 0, 1) + (0,) * 12
+        a = [base + (100,), base + (200,), base + (100,)]
+        b = [base + (200,), base + (100,), base + (100,)]
+        assert damerau_levenshtein(a, a) == 0
+        assert damerau_levenshtein(a, b) == 1  # one adjacent transposition
+        assert normalized_damerau_levenshtein(a, b) == pytest.approx(1 / 3)
