@@ -1,0 +1,138 @@
+"""Compiled vs interpreted forest inference on the identification workload.
+
+The interpreted predict path walks ``_Node`` objects one sample at a time;
+the compiled path (:mod:`repro.ml.compiled`) flattens every fitted tree
+into contiguous arrays and descends whole batches level by level.  This
+benchmark measures both on the paper's fixed-length fingerprints:
+
+* *forest level* -- one Random Forest scoring a large fingerprint batch,
+  the unit of work every per-device-type classifier performs; and
+* *bank level* -- a full :class:`~repro.identification.ClassifierBank`
+  scoring a ``(batch x device-types)`` matrix the way the streaming
+  dispatcher now does, against the historical per-sample/per-type loop.
+
+Headline numbers land in ``BENCH_compiled_inference.json`` so CI tracks
+the speedup over time.  ``REPRO_BENCH_QUICK=1`` shrinks the batch for
+smoke runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import BENCH_QUICK, BENCH_SEED
+from repro.ml.forest import RandomForestClassifier
+
+FOREST_BATCH = 2000 if BENCH_QUICK else 6000
+BANK_BATCH = 48 if BENCH_QUICK else 192
+COMPILED_REPEATS = 3
+
+# The acceptance floor for the subsystem is 5x at full scale.  Quick mode
+# runs on small batches on shared CI runners, where single-shot wall-clock
+# is noisy; assert only a sanity floor there and let the uploaded
+# BENCH_*.json carry the real trajectory.
+SPEEDUP_FLOOR = 2.0 if BENCH_QUICK else 5.0
+
+
+def _timed(function, repeats: int = 1) -> tuple[float, object]:
+    """Best-of-``repeats`` wall-clock of ``function()`` and its result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_compiled_forest_speedup(bench_dataset, bench_report):
+    registry = bench_dataset.to_registry()
+    X, labels = registry.training_matrices()
+    forest = RandomForestClassifier(n_estimators=10, random_state=BENCH_SEED).fit(X, labels)
+    compiled = forest.compile()
+
+    rng = np.random.default_rng(BENCH_SEED)
+    batch = X[rng.integers(0, len(X), size=FOREST_BATCH)].astype(np.float64)
+
+    interpreted_seconds, interpreted = _timed(lambda: forest.predict_proba(batch))
+    compiled_seconds, vectorized = _timed(
+        lambda: compiled.predict_proba(batch), repeats=COMPILED_REPEATS
+    )
+    speedup = interpreted_seconds / compiled_seconds
+
+    print()
+    print("Compiled forest inference (single multiclass forest)")
+    print(f"  batch size                     {len(batch)}")
+    print(f"  trees / total nodes            {compiled.n_estimators} / {compiled.node_count}")
+    print(f"  interpreted predict_proba      {interpreted_seconds * 1000:.1f} ms")
+    print(f"  compiled predict_proba         {compiled_seconds * 1000:.2f} ms")
+    print(f"  speedup                        {speedup:.1f}x")
+
+    # The compiled path must be a pure optimisation: identical outputs.
+    assert np.array_equal(interpreted, vectorized)
+    assert speedup >= SPEEDUP_FLOOR
+
+    bench_report(
+        "compiled_inference",
+        {
+            "forest": {
+                "batch_size": int(len(batch)),
+                "n_estimators": compiled.n_estimators,
+                "node_count": compiled.node_count,
+                "interpreted_seconds": interpreted_seconds,
+                "compiled_seconds": compiled_seconds,
+                "speedup": speedup,
+            }
+        },
+    )
+
+
+def test_bank_batch_scoring_speedup(bench_identifier, bench_dataset, bench_report):
+    bank = bench_identifier.bank
+    fingerprints = bench_dataset.fingerprints
+    rng = np.random.default_rng(BENCH_SEED + 1)
+    chosen = [fingerprints[int(i)] for i in rng.integers(0, len(fingerprints), size=BANK_BATCH)]
+    matrix = np.stack(
+        [fingerprint.to_fixed_vector(bank.fixed_packet_count) for fingerprint in chosen]
+    ).astype(np.float64)
+
+    def legacy_nested_loop():
+        # The pre-refactor shape: per sample, per type, one interpreted
+        # forest call on a single row.
+        verdicts = []
+        for row in matrix:
+            sample = np.atleast_2d(row)
+            for device_type in bank.device_types:
+                classifier = bank.classifier_of(device_type)
+                verdicts.append(classifier.model.predict_proba(sample))
+        return verdicts
+
+    legacy_seconds, _ = _timed(legacy_nested_loop)
+    batched_seconds, scores = _timed(lambda: bank.score_batch(matrix), repeats=COMPILED_REPEATS)
+    speedup = legacy_seconds / batched_seconds
+
+    print()
+    print("Classifier bank batch scoring (batch x device-types)")
+    print(f"  batch size                     {len(matrix)}")
+    print(f"  device-types                   {len(bank.device_types)}")
+    print(f"  legacy nested loop             {legacy_seconds * 1000:.1f} ms")
+    print(f"  compiled batch scoring         {batched_seconds * 1000:.2f} ms")
+    print(f"  speedup                        {speedup:.1f}x")
+
+    assert scores.positive.shape == (len(matrix), len(bank.device_types))
+    assert speedup >= SPEEDUP_FLOOR
+
+    bench_report(
+        "bank_batch_scoring",
+        {
+            "bank": {
+                "batch_size": int(len(matrix)),
+                "device_types": len(bank.device_types),
+                "legacy_seconds": legacy_seconds,
+                "batched_seconds": batched_seconds,
+                "speedup": speedup,
+            }
+        },
+    )

@@ -74,7 +74,7 @@ def run_stream(identifier, source: SimulatedSource):
     return stats, identified
 
 
-def test_streaming_throughput(benchmark, bench_identifier):
+def test_streaming_throughput(benchmark, bench_identifier, bench_report):
     source = build_stream()
     total_devices = len(source.traces)
 
@@ -126,3 +126,21 @@ def test_streaming_throughput(benchmark, bench_identifier):
     # Throughput is sane: the pipeline keeps up with thousands of packets
     # per second even with identification inline.
     assert stats.packets_per_second > 500
+
+    bench_report(
+        "streaming_throughput",
+        {
+            "stream": {
+                "devices": total_devices,
+                "packets": stats.packets,
+                "fingerprints": stats.fingerprints,
+                "packets_per_second": stats.packets_per_second,
+                "assemble_seconds": stats.assemble_seconds,
+                "identify_seconds_batched": stats.identify_seconds,
+                "identify_seconds_per_fingerprint_baseline": baseline_seconds,
+                "batches": stats.dispatcher.batches,
+                "mean_batch_size": stats.dispatcher.mean_batch_size,
+                "cache_hit_rate": stats.cache_hit_rate,
+            }
+        },
+    )

@@ -9,15 +9,27 @@ explicitly:
 * ``REPRO_BENCH_RUNS``   -- setup runs per device-type (paper: 20, default: 12)
 * ``REPRO_BENCH_FOLDS``  -- cross-validation folds      (paper: 10, default: 5)
 * ``REPRO_BENCH_REPEATS``-- cross-validation repetitions (paper: 10, default: 1)
+* ``REPRO_BENCH_QUICK``  -- set to ``1`` for CI smoke runs (small batches)
+* ``REPRO_BENCH_OUT``    -- directory for ``BENCH_*.json`` trajectory files
+  (default: the repository root)
 
 Example paper-scale invocation::
 
     REPRO_BENCH_RUNS=20 REPRO_BENCH_FOLDS=10 pytest benchmarks/ --benchmark-only
+
+Benchmarks that track the performance trajectory write their headline
+numbers to ``BENCH_<name>.json`` through the :func:`write_bench_json`
+helper (exposed as the ``bench_report`` fixture); CI uploads those files
+as artifacts on every run.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from pathlib import Path
 
 import pytest
 
@@ -29,6 +41,39 @@ BENCH_RUNS_PER_TYPE = int(os.environ.get("REPRO_BENCH_RUNS", "12"))
 BENCH_FOLDS = int(os.environ.get("REPRO_BENCH_FOLDS", "5"))
 BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "1"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+BENCH_QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+BENCH_OUTPUT_DIR = Path(os.environ.get("REPRO_BENCH_OUT", str(Path(__file__).resolve().parent.parent)))
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Record a benchmark's headline numbers as ``BENCH_<name>.json``.
+
+    The file is the perf trajectory CI uploads as an artifact; keep the
+    payload small (headline scalars, not raw samples).
+    """
+    BENCH_OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    document = {
+        "benchmark": name,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "quick_mode": BENCH_QUICK,
+        "config": {
+            "runs_per_type": BENCH_RUNS_PER_TYPE,
+            "folds": BENCH_FOLDS,
+            "repeats": BENCH_REPEATS,
+            "seed": BENCH_SEED,
+        },
+        **payload,
+    }
+    path = BENCH_OUTPUT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_report():
+    """The ``BENCH_*.json`` writer, as a fixture for the benchmark files."""
+    return write_bench_json
 
 
 @pytest.fixture(scope="session")

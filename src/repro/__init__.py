@@ -40,6 +40,12 @@ from repro.identification.identifier import (
     IdentificationResult,
     UNKNOWN_DEVICE_TYPE,
 )
+from repro.identification.model_store import (
+    load_bank,
+    load_identifier,
+    save_bank,
+    save_identifier,
+)
 from repro.identification.registry import FingerprintRegistry
 from repro.security_service.service import IoTSecurityService, SecurityAssessment
 from repro.streaming import (
@@ -64,6 +70,10 @@ __all__ = [
     "IdentificationResult",
     "UNKNOWN_DEVICE_TYPE",
     "FingerprintRegistry",
+    "load_bank",
+    "load_identifier",
+    "save_bank",
+    "save_identifier",
     "IoTSecurityService",
     "SecurityAssessment",
     "BatchDispatcher",

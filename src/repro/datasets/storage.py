@@ -1,4 +1,11 @@
-"""JSON persistence for fingerprints and fingerprint datasets."""
+"""JSON persistence for fingerprints and fingerprint datasets.
+
+This stores *raw training material* (labelled fingerprints) in a
+human-inspectable form.  Trained models -- the classifier bank plus the
+registry it serves from -- are persisted separately, as compact binary
+bundles, by :mod:`repro.identification.model_store`; gateways that only
+serve identifications load those bundles and never touch this module.
+"""
 
 from __future__ import annotations
 

@@ -15,13 +15,13 @@ import numpy as np
 
 from repro.datasets.builder import FingerprintDataset
 from repro.devices.catalog import DEVICE_NAMES, TABLE_III_DEVICES
-from repro.devices.simulator import LabEnvironment, SetupTrafficSimulator
+from repro.devices.simulator import SetupTrafficSimulator
 from repro.devices.catalog import DEVICE_CATALOG
 from repro.distance.damerau_levenshtein import normalized_damerau_levenshtein
 from repro.features.fingerprint import Fingerprint
 from repro.gateway.enforcement import EnforcementRule
 from repro.gateway.security_gateway import SecurityGateway
-from repro.identification.identifier import DeviceTypeIdentifier, UNKNOWN_DEVICE_TYPE
+from repro.identification.identifier import DeviceTypeIdentifier
 from repro.ml.metrics import confusion_matrix, per_class_accuracy
 from repro.ml.validation import StratifiedKFold
 from repro.net.addresses import MACAddress

@@ -33,6 +33,10 @@ class IdentificationError(ReproError):
     """Raised for invalid identification pipeline usage."""
 
 
+class ModelStoreError(ReproError):
+    """Raised when a persisted model bundle is missing, corrupt or incompatible."""
+
+
 class DeviceProfileError(ReproError):
     """Raised when a device behaviour profile is invalid."""
 

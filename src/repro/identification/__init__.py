@@ -1,13 +1,28 @@
 """Two-stage device-type identification (Sect. IV-B of the paper)."""
 
-from repro.identification.classifier_bank import ClassifierBank, DeviceTypeClassifier
+from repro.identification.classifier_bank import (
+    BankScores,
+    ClassifierBank,
+    DeviceTypeClassifier,
+)
 from repro.identification.identifier import DeviceTypeIdentifier, IdentificationResult
+from repro.identification.model_store import (
+    load_bank,
+    load_identifier,
+    save_bank,
+    save_identifier,
+)
 from repro.identification.registry import FingerprintRegistry
 
 __all__ = [
+    "BankScores",
     "ClassifierBank",
     "DeviceTypeClassifier",
     "DeviceTypeIdentifier",
     "IdentificationResult",
     "FingerprintRegistry",
+    "load_bank",
+    "load_identifier",
+    "save_bank",
+    "save_identifier",
 ]

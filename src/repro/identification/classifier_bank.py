@@ -11,13 +11,14 @@ added without retraining the existing classifiers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.exceptions import IdentificationError
 from repro.features.fingerprint import FIXED_PACKET_COUNT, Fingerprint
 from repro.identification.registry import FingerprintRegistry
+from repro.ml.compiled import CompiledForest
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.sampling import negative_subsample
 
@@ -27,25 +28,77 @@ POSITIVE_LABEL = 1
 
 @dataclass
 class DeviceTypeClassifier:
-    """The binary accept/reject classifier of a single device-type."""
+    """The binary accept/reject classifier of a single device-type.
+
+    Either of ``model`` (the interpreted forest) and ``compiled`` (its
+    flattened-array form) may be absent: freshly trained classifiers carry
+    both, classifiers reloaded by the model store carry only the compiled
+    arrays.  Predictions are identical through either path; the compiled
+    one is preferred because it scores whole batches without touching
+    Python node objects.
+    """
 
     device_type: str
-    model: RandomForestClassifier
+    model: Optional[RandomForestClassifier]
+    compiled: Optional[CompiledForest] = None
     positive_count: int = 0
     negative_count: int = 0
 
+    @property
+    def scorer(self) -> Union[RandomForestClassifier, CompiledForest]:
+        """The prediction backend: compiled when available, else interpreted."""
+        backend = self.compiled if self.compiled is not None else self.model
+        if backend is None:
+            raise IdentificationError(
+                f"classifier for type {self.device_type!r} has no model attached"
+            )
+        return backend
+
     def accepts(self, fixed_vector: np.ndarray) -> bool:
         """True when the classifier predicts the fingerprint matches its type."""
-        prediction = self.model.predict(np.atleast_2d(fixed_vector))[0]
+        prediction = self.scorer.predict(np.atleast_2d(fixed_vector))[0]
         return int(prediction) == POSITIVE_LABEL
 
     def acceptance_probability(self, fixed_vector: np.ndarray) -> float:
         """The forest's probability that the fingerprint matches its type."""
-        probabilities = self.model.predict_proba(np.atleast_2d(fixed_vector))[0]
-        classes = list(self.model.classes_)
+        scorer = self.scorer
+        probabilities = scorer.predict_proba(np.atleast_2d(fixed_vector))[0]
+        classes = list(scorer.classes_)
         if POSITIVE_LABEL not in classes:
             return 0.0
         return float(probabilities[classes.index(POSITIVE_LABEL)])
+
+
+@dataclass(frozen=True)
+class BankScores:
+    """Stage-1 scores of a fingerprint batch against every classifier.
+
+    Attributes:
+        device_types: bank types, sorted; the column order of the matrices.
+        positive: ``(n, n_types)`` probability that sample ``i`` belongs to
+            type ``j``.
+        accepted: ``(n, n_types)`` boolean accept verdicts (the same
+            argmax rule the per-sample path applies: ties reject).
+    """
+
+    device_types: tuple[str, ...]
+    positive: np.ndarray
+    accepted: np.ndarray
+
+    def matched_types(self, row: int) -> list[str]:
+        """The accepted device-types of one sample, in sorted type order."""
+        return [
+            device_type
+            for device_type, accepted in zip(self.device_types, self.accepted[row])
+            if accepted
+        ]
+
+    def probabilities_of(self, row: int) -> dict[str, float]:
+        """Per-type acceptance probabilities of one sample."""
+        return {
+            device_type: float(probability)
+            for device_type, probability in zip(self.device_types, self.positive[row])
+        }
 
 
 @dataclass
@@ -58,6 +111,11 @@ class ClassifierBank:
         max_depth: optional per-tree depth limit.
         fixed_packet_count: number of packets in the fixed fingerprint F'.
         random_state: seed controlling negative subsampling and forests.
+        n_jobs: worker processes per forest fit (see
+            :class:`~repro.ml.forest.RandomForestClassifier`).
+        compile_models: flatten each freshly trained forest into a
+            :class:`~repro.ml.compiled.CompiledForest` so that batch
+            scoring never walks Python node objects (default True).
     """
 
     negative_ratio: float = 10.0
@@ -65,6 +123,8 @@ class ClassifierBank:
     max_depth: Optional[int] = None
     fixed_packet_count: int = FIXED_PACKET_COUNT
     random_state: Optional[int] = None
+    n_jobs: Optional[int] = None
+    compile_models: bool = True
 
     _classifiers: dict[str, DeviceTypeClassifier] = field(default_factory=dict)
     _rng: Optional[np.random.Generator] = field(default=None, repr=False)
@@ -116,11 +176,13 @@ class ClassifierBank:
             n_estimators=self.n_estimators,
             max_depth=self.max_depth,
             random_state=int(self._rng.integers(0, 2**31 - 1)),
+            n_jobs=self.n_jobs,
         )
         model.fit(X, y)
         classifier = DeviceTypeClassifier(
             device_type=device_type,
             model=model,
+            compiled=model.compile() if self.compile_models else None,
             positive_count=len(positive_matrix),
             negative_count=len(negative_matrix),
         )
@@ -160,19 +222,51 @@ class ClassifierBank:
         """Drop the classifier of a device-type (e.g. a retired model)."""
         self._classifiers.pop(device_type, None)
 
+    # ------------------------------------------------------------------ #
+    # Batch scoring.
+    # ------------------------------------------------------------------ #
+    def score_batch(self, fixed_matrix: np.ndarray) -> BankScores:
+        """Score a ``(batch, d)`` fixed-vector matrix against every type.
+
+        One call replaces the historical nested loop (per sample, per
+        type, per tree, per node): each classifier scores the whole batch
+        through its compiled forest, producing the ``(batch x types)``
+        probability and accept matrices in ``n_types`` vectorized calls.
+        """
+        fixed_matrix = np.atleast_2d(np.asarray(fixed_matrix, dtype=np.float64))
+        types = tuple(self.device_types)
+        positive = np.zeros((len(fixed_matrix), len(types)), dtype=np.float64)
+        accepted = np.zeros((len(fixed_matrix), len(types)), dtype=bool)
+        for column, device_type in enumerate(types):
+            scorer = self._classifiers[device_type].scorer
+            probabilities = scorer.predict_proba(fixed_matrix)
+            positions = np.nonzero(np.asarray(scorer.classes_) == POSITIVE_LABEL)[0]
+            if not len(positions):
+                continue
+            positive_column = int(positions[0])
+            positive[:, column] = probabilities[:, positive_column]
+            # Same rule as the per-sample path: accepted iff argmax lands on
+            # the positive class (ties resolve to the lower label = reject).
+            accepted[:, column] = np.argmax(probabilities, axis=1) == positive_column
+        return BankScores(device_types=types, positive=positive, accepted=accepted)
+
+    def score_fingerprints(self, fingerprints: Sequence[Fingerprint]) -> BankScores:
+        """Batch-score fingerprints (fixed vectors are built here)."""
+        if not fingerprints:
+            return BankScores(
+                device_types=tuple(self.device_types),
+                positive=np.zeros((0, len(self._classifiers))),
+                accepted=np.zeros((0, len(self._classifiers)), dtype=bool),
+            )
+        fixed = np.stack(
+            [fingerprint.to_fixed_vector(self.fixed_packet_count) for fingerprint in fingerprints]
+        )
+        return self.score_batch(fixed)
+
     def matching_types(self, fingerprint: Fingerprint) -> list[str]:
         """Every device-type whose classifier accepts the fingerprint."""
-        fixed = fingerprint.to_fixed_vector(self.fixed_packet_count)
-        return [
-            device_type
-            for device_type, classifier in sorted(self._classifiers.items())
-            if classifier.accepts(fixed)
-        ]
+        return self.score_fingerprints([fingerprint]).matched_types(0)
 
     def acceptance_probabilities(self, fingerprint: Fingerprint) -> dict[str, float]:
         """Per-type acceptance probabilities (useful for diagnostics)."""
-        fixed = fingerprint.to_fixed_vector(self.fixed_packet_count)
-        return {
-            device_type: classifier.acceptance_probability(fixed)
-            for device_type, classifier in sorted(self._classifiers.items())
-        }
+        return self.score_fingerprints([fingerprint]).probabilities_of(0)

@@ -11,7 +11,7 @@ import numpy as np
 from repro.distance.discrimination import DissimilarityScore, EditDistanceDiscriminator
 from repro.exceptions import IdentificationError
 from repro.features.fingerprint import Fingerprint
-from repro.identification.classifier_bank import ClassifierBank
+from repro.identification.classifier_bank import BankScores, ClassifierBank
 from repro.identification.registry import FingerprintRegistry
 
 #: Label returned for fingerprints rejected by every per-type classifier.
@@ -138,8 +138,22 @@ class DeviceTypeIdentifier:
         acceptance probability.
         """
         start = time.perf_counter()
-        matched = self.bank.matching_types(fingerprint)
+        scores = self.bank.score_fingerprints([fingerprint])
         classification_seconds = time.perf_counter() - start
+        return self._resolve(
+            fingerprint, scores, 0, classification_seconds, use_discrimination
+        )
+
+    def _resolve(
+        self,
+        fingerprint: Fingerprint,
+        scores: BankScores,
+        row: int,
+        classification_seconds: float,
+        use_discrimination: bool,
+    ) -> IdentificationResult:
+        """Stages 1.5-2: turn one sample's bank scores into a verdict."""
+        matched = scores.matched_types(row)
 
         if not matched:
             return IdentificationResult(
@@ -159,7 +173,7 @@ class DeviceTypeIdentifier:
             )
 
         if not use_discrimination:
-            probabilities = self.bank.acceptance_probabilities(fingerprint)
+            probabilities = scores.probabilities_of(row)
             best = max(matched, key=lambda device_type: probabilities[device_type])
             return IdentificationResult(
                 device_type=best,
@@ -171,16 +185,16 @@ class DeviceTypeIdentifier:
         candidates = {
             device_type: self.registry.fingerprints_of(device_type) for device_type in matched
         }
-        best, scores = self.discriminator.discriminate(fingerprint, candidates)
+        best, discrimination_scores = self.discriminator.discriminate(fingerprint, candidates)
         if self.novelty_threshold is not None:
-            winning = scores[0]
+            winning = discrimination_scores[0]
             if winning.comparisons and winning.score / winning.comparisons > self.novelty_threshold:
                 best = UNKNOWN_DEVICE_TYPE
         discrimination_seconds = time.perf_counter() - start
         return IdentificationResult(
             device_type=best,
             matched_types=tuple(matched),
-            discrimination_scores=tuple(scores),
+            discrimination_scores=tuple(discrimination_scores),
             classification_seconds=classification_seconds,
             discrimination_seconds=discrimination_seconds,
         )
@@ -199,10 +213,23 @@ class DeviceTypeIdentifier:
     def identify_many(
         self, fingerprints: Sequence[Fingerprint], use_discrimination: bool = True
     ) -> list[IdentificationResult]:
-        """Identify a batch of fingerprints."""
+        """Identify a batch of fingerprints.
+
+        Stage 1 scores the whole batch as one ``(batch x device-types)``
+        matrix through the bank's compiled forests instead of looping
+        ``identify`` per fingerprint; the edit-distance stage still runs
+        per sample (it only fires on multi-match or novelty-guard cases).
+        Each result's ``classification_seconds`` is the batch's stage-1
+        wall-clock divided evenly across its members.
+        """
+        if not fingerprints:
+            return []
+        start = time.perf_counter()
+        scores = self.bank.score_fingerprints(fingerprints)
+        classification_seconds = (time.perf_counter() - start) / len(fingerprints)
         return [
-            self.identify(fingerprint, use_discrimination=use_discrimination)
-            for fingerprint in fingerprints
+            self._resolve(fingerprint, scores, row, classification_seconds, use_discrimination)
+            for row, fingerprint in enumerate(fingerprints)
         ]
 
     @property

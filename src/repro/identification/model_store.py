@@ -1,0 +1,331 @@
+"""Persistent model store: train once, serve from any process.
+
+Serialises a whole trained identification stack -- the
+:class:`~repro.identification.classifier_bank.ClassifierBank` (as compiled
+forests, see :mod:`repro.ml.compiled`), the
+:class:`~repro.identification.registry.FingerprintRegistry` the
+discrimination stage reads its references from, and the discriminator /
+novelty configuration -- into a single ``.npz`` bundle.  A gateway can
+therefore train in the lab, ship the bundle, and serve identifications
+without ever re-fitting a forest.
+
+Bundle layout (one zip archive written by :func:`numpy.savez_compressed`):
+
+* ``meta`` -- a UTF-8 JSON document (stored as a ``uint8`` array) holding
+  the magic string, the schema version, bank/discriminator configuration,
+  per-classifier metadata, per-fingerprint registry metadata and a SHA-256
+  checksum over every data array;
+* ``bank{i}_*`` -- the packed compiled forest of the ``i``-th device-type
+  (see :meth:`~repro.ml.compiled.CompiledForest.pack`);
+* ``registry_vectors`` / ``registry_lengths`` -- every registry
+  fingerprint's packet rows, concatenated, plus the per-fingerprint row
+  counts to slice them back apart.
+
+Robustness guarantees:
+
+* loading a bundle with a different ``schema_version`` (or missing magic)
+  raises :class:`~repro.exceptions.ModelStoreError` instead of
+  misinterpreting bytes;
+* every data array is checksummed; truncated or bit-flipped files fail
+  loudly at load time, not at serve time;
+* the discriminator's random-generator state is captured exactly, so a
+  reloaded identifier reproduces the original's verdict stream
+  bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zipfile
+import zlib
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.distance.discrimination import EditDistanceDiscriminator
+from repro.exceptions import ModelError, ModelStoreError
+from repro.features.fingerprint import Fingerprint
+from repro.identification.classifier_bank import ClassifierBank, DeviceTypeClassifier
+from repro.identification.identifier import DeviceTypeIdentifier
+from repro.identification.registry import FingerprintRegistry
+from repro.ml.compiled import CompiledForest
+
+#: Identifies a file as an IoT SENTINEL model bundle.
+STORE_MAGIC = "iot-sentinel-model-store"
+
+#: Bump on any incompatible change to the bundle layout.
+SCHEMA_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# Helpers.
+# --------------------------------------------------------------------- #
+def _checksum(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over every data array, in sorted key order."""
+    digest = hashlib.sha256()
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(array.shape).encode("ascii"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _rng_state(rng: Optional[np.random.Generator]) -> Optional[dict]:
+    if rng is None:
+        return None
+    return rng.bit_generator.state
+
+
+def _restore_rng(state: Optional[dict]) -> np.random.Generator:
+    rng = np.random.default_rng()
+    if state is not None:
+        rng.bit_generator.state = state
+    return rng
+
+
+def _registry_arrays(registry: FingerprintRegistry) -> tuple[list[dict], dict[str, np.ndarray]]:
+    """Flatten every registry fingerprint into two arrays + JSON metadata."""
+    records: list[dict] = []
+    blocks: list[np.ndarray] = []
+    for fingerprint in registry:  # iterates in sorted-type order
+        records.append(
+            {
+                "device_type": fingerprint.device_type,
+                "device_mac": fingerprint.device_mac,
+                "metadata": fingerprint.metadata,
+                "packets": fingerprint.packet_count,
+            }
+        )
+        blocks.append(fingerprint.vectors)
+    if blocks:
+        vectors = np.concatenate(blocks, axis=0)
+    else:
+        vectors = np.zeros((0, 0), dtype=np.int64)
+    lengths = np.array([record["packets"] for record in records], dtype=np.int64)
+    return records, {"registry_vectors": vectors, "registry_lengths": lengths}
+
+
+def _rebuild_registry(meta: dict, arrays: dict[str, np.ndarray]) -> FingerprintRegistry:
+    registry = FingerprintRegistry(fixed_packet_count=meta["fixed_packet_count"])
+    records = meta["fingerprints"]
+    vectors = arrays["registry_vectors"]
+    lengths = arrays["registry_lengths"]
+    if len(records) != len(lengths):
+        raise ModelStoreError("registry metadata and lengths disagree on fingerprint count")
+    if int(lengths.sum()) != len(vectors):
+        raise ModelStoreError("registry vector block disagrees with recorded lengths")
+    offset = 0
+    for record, length in zip(records, lengths):
+        rows = vectors[offset : offset + int(length)]
+        offset += int(length)
+        registry.add(
+            Fingerprint(
+                vectors=np.asarray(rows, dtype=np.int64),
+                device_type=record["device_type"],
+                device_mac=record.get("device_mac"),
+                metadata=record.get("metadata") or {},
+            )
+        )
+    return registry
+
+
+def _bank_payload(bank: ClassifierBank) -> tuple[dict, dict[str, np.ndarray]]:
+    classifiers_meta: list[dict] = []
+    arrays: dict[str, np.ndarray] = {}
+    for index, device_type in enumerate(bank.device_types):
+        classifier = bank.classifier_of(device_type)
+        compiled = classifier.compiled
+        if compiled is None:
+            if classifier.model is None:
+                raise ModelStoreError(
+                    f"classifier for type {device_type!r} has no model to persist"
+                )
+            compiled = classifier.model.compile()
+        packed = compiled.pack()
+        for key, array in packed.items():
+            arrays[f"bank{index}_{key}"] = array
+        classifiers_meta.append(
+            {
+                "device_type": device_type,
+                "positive_count": classifier.positive_count,
+                "negative_count": classifier.negative_count,
+            }
+        )
+    meta = {
+        "negative_ratio": bank.negative_ratio,
+        "n_estimators": bank.n_estimators,
+        "max_depth": bank.max_depth,
+        "fixed_packet_count": bank.fixed_packet_count,
+        "random_state": bank.random_state,
+        "n_jobs": bank.n_jobs,
+        "compile_models": bank.compile_models,
+        "rng_state": _rng_state(bank._rng),
+        "classifiers": classifiers_meta,
+    }
+    return meta, arrays
+
+
+def _rebuild_bank(meta: dict, arrays: dict[str, np.ndarray]) -> ClassifierBank:
+    bank = ClassifierBank(
+        negative_ratio=meta["negative_ratio"],
+        n_estimators=meta["n_estimators"],
+        max_depth=meta["max_depth"],
+        fixed_packet_count=meta["fixed_packet_count"],
+        random_state=meta["random_state"],
+        n_jobs=meta.get("n_jobs"),
+        compile_models=meta.get("compile_models", True),
+    )
+    bank._rng = _restore_rng(meta.get("rng_state"))
+    for index, record in enumerate(meta["classifiers"]):
+        prefix = f"bank{index}_"
+        packed = {
+            key[len(prefix) :]: array
+            for key, array in arrays.items()
+            if key.startswith(prefix)
+        }
+        forest = CompiledForest.unpack(packed)
+        device_type = record["device_type"]
+        bank._classifiers[device_type] = DeviceTypeClassifier(
+            device_type=device_type,
+            model=None,
+            compiled=forest,
+            positive_count=record["positive_count"],
+            negative_count=record["negative_count"],
+        )
+    return bank
+
+
+def _write_bundle(path: Union[str, Path], meta: dict, arrays: dict[str, np.ndarray]) -> Path:
+    path = Path(path)
+    meta = dict(meta)
+    meta["magic"] = STORE_MAGIC
+    meta["schema_version"] = SCHEMA_VERSION
+    meta["checksum"] = _checksum(arrays)
+    encoded = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Write-then-rename keeps an existing bundle intact if this process
+    # dies mid-save: the gateway never loses its last good model.
+    scratch = path.with_name(path.name + ".tmp")
+    try:
+        with open(scratch, "wb") as handle:
+            np.savez_compressed(handle, meta=encoded, **arrays)
+        os.replace(scratch, path)
+    finally:
+        if scratch.exists():
+            scratch.unlink()
+    return path
+
+
+def _read_bundle(path: Union[str, Path]) -> tuple[dict, dict[str, np.ndarray]]:
+    path = Path(path)
+    if not path.exists():
+        raise ModelStoreError(f"model bundle does not exist: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            contents = {key: archive[key] for key in archive.files}
+    except (zipfile.BadZipFile, zlib.error, ValueError, OSError, EOFError, KeyError) as exc:
+        raise ModelStoreError(f"model bundle is unreadable (corrupt or truncated): {path}") from exc
+    if "meta" not in contents:
+        raise ModelStoreError(f"model bundle has no metadata record: {path}")
+    try:
+        meta = json.loads(bytes(contents.pop("meta")).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ModelStoreError(f"model bundle metadata is not valid JSON: {path}") from exc
+    if meta.get("magic") != STORE_MAGIC:
+        raise ModelStoreError(f"not an IoT SENTINEL model bundle: {path}")
+    if meta.get("schema_version") != SCHEMA_VERSION:
+        raise ModelStoreError(
+            f"unsupported model bundle schema version {meta.get('schema_version')!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    recorded = meta.get("checksum")
+    actual = _checksum(contents)
+    if recorded != actual:
+        raise ModelStoreError(
+            f"model bundle checksum mismatch (file corrupt): {path} "
+            f"recorded={recorded!r} actual={actual!r}"
+        )
+    return meta, contents
+
+
+# --------------------------------------------------------------------- #
+# Public API.
+# --------------------------------------------------------------------- #
+def save_bank(
+    path: Union[str, Path], bank: ClassifierBank, registry: FingerprintRegistry
+) -> Path:
+    """Persist a trained classifier bank and its fingerprint registry."""
+    bank_meta, arrays = _bank_payload(bank)
+    registry_records, registry_arrays = _registry_arrays(registry)
+    arrays.update(registry_arrays)
+    meta = {
+        "bank": bank_meta,
+        "registry": {
+            "fixed_packet_count": registry.fixed_packet_count,
+            "fingerprints": registry_records,
+        },
+    }
+    return _write_bundle(path, meta, arrays)
+
+
+def load_bank(path: Union[str, Path]) -> tuple[ClassifierBank, FingerprintRegistry]:
+    """Reload a bank + registry persisted by :func:`save_bank`."""
+    meta, arrays = _read_bundle(path)
+    try:
+        bank = _rebuild_bank(meta["bank"], arrays)
+        registry = _rebuild_registry(meta["registry"], arrays)
+    except (KeyError, TypeError, ModelError) as exc:
+        raise ModelStoreError(f"model bundle is structurally invalid: {path}") from exc
+    return bank, registry
+
+
+def save_identifier(path: Union[str, Path], identifier: DeviceTypeIdentifier) -> Path:
+    """Persist a fully trained two-stage identifier.
+
+    Captures the bank (compiled forests), the registry, the discriminator
+    configuration *including its exact random-generator state*, and the
+    novelty threshold, so the reloaded identifier continues the original's
+    verdict stream exactly.
+    """
+    bank_meta, arrays = _bank_payload(identifier.bank)
+    registry_records, registry_arrays = _registry_arrays(identifier.registry)
+    arrays.update(registry_arrays)
+    meta = {
+        "bank": bank_meta,
+        "registry": {
+            "fixed_packet_count": identifier.registry.fixed_packet_count,
+            "fingerprints": registry_records,
+        },
+        "discriminator": {
+            "references_per_type": identifier.discriminator.references_per_type,
+            "rng_state": _rng_state(identifier.discriminator.rng),
+        },
+        "novelty_threshold": identifier.novelty_threshold,
+    }
+    return _write_bundle(path, meta, arrays)
+
+
+def load_identifier(path: Union[str, Path]) -> DeviceTypeIdentifier:
+    """Reload an identifier persisted by :func:`save_identifier`."""
+    meta, arrays = _read_bundle(path)
+    try:
+        bank = _rebuild_bank(meta["bank"], arrays)
+        registry = _rebuild_registry(meta["registry"], arrays)
+        discriminator_meta = meta["discriminator"]
+        discriminator = EditDistanceDiscriminator(
+            references_per_type=discriminator_meta["references_per_type"],
+            rng=_restore_rng(discriminator_meta.get("rng_state")),
+        )
+        novelty_threshold = meta["novelty_threshold"]
+    except (KeyError, TypeError, ModelError) as exc:
+        raise ModelStoreError(f"model bundle is structurally invalid: {path}") from exc
+    return DeviceTypeIdentifier(
+        bank=bank,
+        registry=registry,
+        discriminator=discriminator,
+        novelty_threshold=novelty_threshold,
+    )

@@ -8,6 +8,7 @@ Bayes and k-nearest-neighbours) used for comparison experiments.
 """
 
 from repro.ml.baselines import GaussianNaiveBayes, KNeighborsClassifier, MajorityClassClassifier
+from repro.ml.compiled import CompiledForest, CompiledTree
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.metrics import (
     accuracy_score,
@@ -22,6 +23,8 @@ from repro.ml.tree import DecisionTreeClassifier
 from repro.ml.validation import StratifiedKFold, cross_val_predict
 
 __all__ = [
+    "CompiledForest",
+    "CompiledTree",
     "DecisionTreeClassifier",
     "RandomForestClassifier",
     "GaussianNaiveBayes",

@@ -2,13 +2,25 @@
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.exceptions import ModelError
+from repro.ml.compiled import CompiledForest
 from repro.ml.tree import DecisionTreeClassifier
+
+
+def _fit_one_tree(
+    task: tuple[dict, int, np.ndarray, np.ndarray],
+) -> DecisionTreeClassifier:
+    """Fit a single tree; module-level so process pools can pickle it."""
+    params, seed, X, y = task
+    tree = DecisionTreeClassifier(random_state=seed, **params)
+    return tree.fit(X, y)
 
 
 @dataclass
@@ -27,6 +39,10 @@ class RandomForestClassifier:
         max_features: per-split feature subsample ("sqrt" by default).
         bootstrap: draw bootstrap resamples (True) or use the full set.
         random_state: seed controlling bootstrap draws and feature subsampling.
+        n_jobs: worker processes for fitting trees; ``None`` or 1 fits
+            sequentially, -1 uses every CPU.  Per-tree seeds and bootstrap
+            indices are drawn up front from the master generator, so the
+            fitted forest is identical for every ``n_jobs`` value.
     """
 
     n_estimators: int = 10
@@ -36,6 +52,7 @@ class RandomForestClassifier:
     max_features: Union[str, int, float, None] = "sqrt"
     bootstrap: bool = True
     random_state: Optional[int] = None
+    n_jobs: Optional[int] = None
 
     estimators_: list[DecisionTreeClassifier] = field(default_factory=list, repr=False, compare=False)
     classes_: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
@@ -57,16 +74,21 @@ class RandomForestClassifier:
         rng = np.random.default_rng(self.random_state)
         self.classes_ = np.unique(y)
         self.n_features_ = X.shape[1]
-        self.estimators_ = []
         n_samples = len(X)
+
+        # Draw every tree's seed and bootstrap sample from the master
+        # generator up front: the draw order matches the historical
+        # sequential loop exactly, and fitting then parallelises freely
+        # without changing the resulting forest.
+        params = {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
+        plans: list[tuple[int, np.ndarray]] = []
         for _ in range(self.n_estimators):
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                random_state=int(rng.integers(0, 2**31 - 1)),
-            )
+            seed = int(rng.integers(0, 2**31 - 1))
             if self.bootstrap:
                 indices = rng.integers(0, n_samples, size=n_samples)
                 # Bootstrap resamples can miss a class entirely; redraw a few
@@ -80,9 +102,58 @@ class RandomForestClassifier:
                     indices = np.arange(n_samples)
             else:
                 indices = np.arange(n_samples)
-            tree.fit(X[indices], y[indices])
-            self.estimators_.append(tree)
+            plans.append((seed, indices))
+
+        workers = self._resolve_n_jobs()
+        if workers > 1:
+            try:
+                self.estimators_ = self._fit_parallel(plans, params, X, y, workers)
+            except (OSError, BrokenExecutor):
+                # Restricted environments (no fork/spawn, workers killed by
+                # the sandbox or OOM) fall back to the sequential path; the
+                # result is identical either way.
+                self.estimators_ = self._fit_sequential(plans, params, X, y)
+        else:
+            self.estimators_ = self._fit_sequential(plans, params, X, y)
         return self
+
+    @staticmethod
+    def _fit_sequential(plans, params, X, y) -> list[DecisionTreeClassifier]:
+        # One bootstrap copy alive at a time, like the pre-parallel loop.
+        return [_fit_one_tree((params, seed, X[indices], y[indices])) for seed, indices in plans]
+
+    @staticmethod
+    def _fit_parallel(plans, params, X, y, workers: int) -> list[DecisionTreeClassifier]:
+        """Fit trees in a process pool, bounding in-flight bootstrap copies.
+
+        Each submitted task ships its own resampled ``(X, y)`` to the
+        worker; a sliding window of ``2 x workers`` outstanding tasks keeps
+        peak memory proportional to the pool size, not ``n_estimators``.
+        """
+        fitted: list[Optional[DecisionTreeClassifier]] = [None] * len(plans)
+        window = workers * 2
+        with ProcessPoolExecutor(max_workers=min(workers, len(plans))) as pool:
+            pending: dict = {}
+            submitted = 0
+            while submitted < len(plans) or pending:
+                while submitted < len(plans) and len(pending) < window:
+                    seed, indices = plans[submitted]
+                    future = pool.submit(_fit_one_tree, (params, seed, X[indices], y[indices]))
+                    pending[future] = submitted
+                    submitted += 1
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    fitted[pending.pop(future)] = future.result()
+        return fitted
+
+    def _resolve_n_jobs(self) -> int:
+        if self.n_jobs is None:
+            return 1
+        if self.n_jobs == -1:
+            return os.cpu_count() or 1
+        if self.n_jobs <= 0:
+            raise ModelError(f"n_jobs must be positive or -1, got {self.n_jobs}")
+        return self.n_jobs
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Averaged class-probability estimates over all trees."""
@@ -118,3 +189,16 @@ class RandomForestClassifier:
         for tree in self.estimators_:
             total += tree.feature_importances()
         return total / len(self.estimators_)
+
+    def compile(self) -> CompiledForest:
+        """Flatten the fitted forest for vectorized batch prediction.
+
+        The compiled forest's ``predict_proba`` matches the interpreted
+        path bitwise (see :mod:`repro.ml.compiled`) while replacing the
+        per-sample Python node walk with level-synchronous array gathers.
+        """
+        if not self.estimators_ or self.classes_ is None:
+            raise ModelError("RandomForestClassifier.compile called before fit")
+        return CompiledForest.from_estimators(
+            self.estimators_, classes=self.classes_, n_features=self.n_features_
+        )

@@ -4,11 +4,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
 from repro.exceptions import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ml.compiled import CompiledTree
 
 
 @dataclass
@@ -211,30 +214,51 @@ class DecisionTreeClassifier:
 
     @property
     def depth(self) -> int:
-        """The depth of the fitted tree (0 for a single leaf)."""
+        """The depth of the fitted tree (0 for a single leaf).
+
+        Walks iteratively with an explicit stack: a pathological tree (e.g.
+        one grown on adversarially ordered data with no ``max_depth``) can
+        be deeper than Python's recursion limit.
+        """
         if self._root is None:
             raise ModelError("tree is not fitted")
-
-        def walk(node: _Node) -> int:
+        deepest = 0
+        stack: list[tuple[_Node, int]] = [(self._root, 0)]
+        while stack:
+            node, level = stack.pop()
             if node.is_leaf:
-                return 0
-            return 1 + max(walk(node.left), walk(node.right))
-
-        return walk(self._root)
+                deepest = max(deepest, level)
+            else:
+                stack.append((node.left, level + 1))
+                stack.append((node.right, level + 1))
+        return deepest
 
     def feature_importances(self) -> np.ndarray:
-        """Split-count based feature importances (normalised to sum to 1)."""
+        """Split-count based feature importances (normalised to sum to 1).
+
+        Iterative for the same reason as :attr:`depth`: unbounded trees may
+        exceed the recursion limit.
+        """
         if self._root is None:
             raise ModelError("tree is not fitted")
         counts = np.zeros(self.n_features_, dtype=np.float64)
-
-        def walk(node: _Node) -> None:
+        stack: list[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
             if node.is_leaf:
-                return
+                continue
             counts[node.feature] += node.n_samples
-            walk(node.left)
-            walk(node.right)
-
-        walk(self._root)
+            stack.append(node.left)
+            stack.append(node.right)
         total = counts.sum()
         return counts / total if total > 0 else counts
+
+    def compile(self) -> "CompiledTree":
+        """Flatten the fitted tree for vectorized batch prediction.
+
+        See :mod:`repro.ml.compiled`; the compiled tree's ``predict_proba``
+        is bitwise-identical to the interpreted walk.
+        """
+        from repro.ml.compiled import CompiledTree
+
+        return CompiledTree.from_tree(self)

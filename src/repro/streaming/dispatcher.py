@@ -4,15 +4,17 @@ Completed fingerprints are staged in a :class:`BoundedQueue` and handed to
 the identifier ``max_batch`` at a time.  Two distinct effects are at work,
 and it is worth being precise about which buys what:
 
-* *Batching* shapes the work: identification runs at controlled moments in
-  bulk instead of interleaving a full two-stage identification into the
-  packet path every time a fingerprint completes, and the bounded queue in
-  front of it is where overload policy (drop/block) and load shedding
-  live.  The identification cost itself remains per-fingerprint --
+* *Batching* shapes the work and, since the compiled-inference refactor,
+  also removes it: identification runs at controlled moments in bulk, and
   :meth:`~repro.identification.identifier.DeviceTypeIdentifier.identify_many`
-  is a loop, so ``max_batch`` tunes latency and queueing, not CPU.
-* The *LRU result cache*, keyed by the fingerprint's content hash, is what
-  actually removes work: a second device of an identical model skips
+  scores the whole batch as one ``(batch x device-types)`` matrix through
+  the bank's compiled forests (:mod:`repro.ml.compiled`) instead of
+  walking Python tree nodes per fingerprint.  ``max_batch`` therefore
+  tunes both latency *and* per-fingerprint classification cost, and the
+  bounded queue in front of the dispatcher is where overload policy
+  (drop/block) and load shedding live.
+* The *LRU result cache*, keyed by the fingerprint's content hash, removes
+  repeat work outright: a second device of an identical model skips
   classification and discrimination entirely -- the dominant cost of the
   paper's Table IV.
 """

@@ -1,6 +1,5 @@
 """Tests for the two-stage device-type identifier."""
 
-import numpy as np
 import pytest
 
 from repro.devices.catalog import DEVICE_CATALOG

@@ -4,7 +4,7 @@ import numpy as np
 
 from repro.datasets.builder import DatasetBuilder
 from repro.devices.catalog import DEVICE_CATALOG
-from repro.devices.simulator import LabEnvironment, SetupTrafficSimulator
+from repro.devices.simulator import SetupTrafficSimulator
 from repro.features.fingerprint import Fingerprint
 from repro.features.session import SetupPhaseDetector, split_by_source
 from repro.gateway.security_gateway import SecurityGateway

@@ -1,6 +1,5 @@
 """Tests for the setup-traffic simulator."""
 
-import numpy as np
 import pytest
 
 from repro.devices.catalog import DEVICE_CATALOG
