@@ -1,0 +1,146 @@
+"""Fleet re-identification throughput after a runtime type registration.
+
+An N-device fleet of one unknown model is quarantined under strict
+isolation; the operator then registers the missing device-type through the
+:class:`~repro.identification.lifecycle.LifecycleCoordinator`.  The
+measured path is everything `learn_device_type` does: incremental
+training of the new classifier, epoch bump + cache invalidation, batch
+re-identification of the quarantined fleet through ``identify_many``
+(compiled forests), and the enforcement-sink pass that replaces each
+device's strict gateway rule.
+
+Checked properties:
+
+* every quarantined device is re-identified to the learned type and its
+  gateway rule upgraded away from strict;
+* the dispatcher cache registered with the coordinator is invalidated.
+
+The batched-vs-per-fingerprint timing is *reported* (headline of the
+``BENCH_relearn.json`` trajectory) but not asserted: a single-round
+wall-clock comparison on a shared CI runner is noise-prone, and the batch
+speedup itself is already gated by ``bench_compiled_inference.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.devices.catalog import DEVICE_CATALOG
+from repro.devices.simulator import SetupTrafficSimulator
+from repro.features.fingerprint import Fingerprint
+from repro.gateway.security_gateway import SecurityGateway
+from repro.identification.identifier import DeviceTypeIdentifier
+from repro.identification.lifecycle import LifecycleCoordinator
+from repro.security_service.isolation import IsolationLevel
+from repro.security_service.service import IoTSecurityService
+from repro.streaming import GatewayEnforcementSink
+
+from benchmarks.conftest import BENCH_QUICK, BENCH_SEED
+
+KNOWN_TYPES = ("Aria", "HueBridge", "EdnetCam", "WeMoSwitch", "TP-LinkPlugHS110", "D-LinkCam")
+LEARNED_TYPE = "HomeMaticPlug"
+FLEET_SIZE = 10 if BENCH_QUICK else 60
+TRAINING_RUNS = 8
+
+
+def build_quarantined_stack():
+    """An identifier that does not know the fleet's model, fleet quarantined."""
+    from repro.datasets.builder import generate_fingerprint_dataset
+
+    dataset = generate_fingerprint_dataset(
+        runs_per_type=TRAINING_RUNS, device_names=list(KNOWN_TYPES), seed=BENCH_SEED
+    )
+    identifier = DeviceTypeIdentifier.train(dataset.to_registry(), random_state=BENCH_SEED)
+
+    service = IoTSecurityService(identifier=identifier)
+    gateway = SecurityGateway(security_service=service)
+    coordinator = LifecycleCoordinator(identifier=identifier)
+    coordinator.sink = GatewayEnforcementSink(
+        gateway=gateway, security_service=service, lifecycle=coordinator
+    )
+    cache = coordinator.make_cache(capacity=256)
+
+    simulator = SetupTrafficSimulator(seed=BENCH_SEED + 1)
+    profile = DEVICE_CATALOG[LEARNED_TYPE]
+    for trace in simulator.simulate_many(profile, FLEET_SIZE):
+        coordinator.quarantine.record(
+            trace.device_mac,
+            Fingerprint.from_packets(trace.packets),
+            completion_reason="idle",
+        )
+    training = [
+        Fingerprint.from_packets(trace.packets, device_type=LEARNED_TYPE)
+        for trace in simulator.simulate_many(profile, TRAINING_RUNS)
+    ]
+    return identifier, gateway, coordinator, cache, training
+
+
+def test_relearn_throughput(benchmark, bench_report):
+    identifier, gateway, coordinator, cache, training = build_quarantined_stack()
+    fleet = coordinator.quarantine.devices()
+    assert len(fleet) == FLEET_SIZE
+
+    # The fleet's model really is unknown to the pre-learning bank.
+    probe = identifier.identify(fleet[0].fingerprint)
+    assert probe.is_new_device_type
+    cache.put(b"pre-learning", probe)  # must be unreachable afterwards
+
+    report = benchmark.pedantic(
+        coordinator.learn_device_type,
+        args=(LEARNED_TYPE, training),
+        kwargs={"snapshot": False},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Baseline: the same quarantined fingerprints identified one call at
+    # a time -- the shape a consumer without the lifecycle batch path had.
+    start = time.perf_counter()
+    baseline = [identifier.identify(entry.fingerprint) for entry in fleet]
+    baseline_seconds = time.perf_counter() - start
+
+    print()
+    print("Fleet re-identification after runtime type registration")
+    print(f"  quarantined fleet              {report.quarantined} devices")
+    print(f"  upgraded                       {len(report.upgraded)}")
+    print(f"  still unknown                  {len(report.still_unknown)}")
+    print(f"  re-identification (batched)    {report.identify_seconds * 1000:.1f} ms "
+          f"({report.devices_per_second:,.0f} devices/s)")
+    print(f"  re-identification (per-fp)     {baseline_seconds * 1000:.1f} ms")
+    print(f"  cache epoch                    {report.generation} "
+          f"(stale rejections {cache.stale_rejections})")
+
+    # Every quarantined device was re-identified and its rule upgraded.
+    assert len(report.upgraded) == FLEET_SIZE
+    assert not report.still_unknown
+    assert len(coordinator.quarantine) == 0
+    for entry in fleet:
+        rule = gateway.rule_cache.lookup(entry.mac)
+        assert rule is not None
+        assert rule.isolation_level is not IsolationLevel.STRICT
+        assert gateway.device_record(entry.mac).device_type == LEARNED_TYPE
+
+    # The verdicts agree with the one-at-a-time baseline.
+    agreements = sum(1 for result in baseline if result.device_type == LEARNED_TYPE)
+    assert agreements >= int(0.9 * FLEET_SIZE)
+
+    # Timing sanity only; the batched/sequential ratio is trajectory data.
+    assert report.identify_seconds > 0
+
+    # The pre-learning cache entry is unreachable (epoch + clear).
+    assert cache.get(b"pre-learning") is None
+
+    bench_report(
+        "relearn",
+        {
+            "relearn": {
+                "fleet_size": FLEET_SIZE,
+                "upgraded": len(report.upgraded),
+                "still_unknown": len(report.still_unknown),
+                "identify_seconds_batched": report.identify_seconds,
+                "identify_seconds_per_fingerprint_baseline": baseline_seconds,
+                "devices_per_second": report.devices_per_second,
+                "epoch_generation": report.generation,
+            }
+        },
+    )

@@ -12,7 +12,9 @@ The package is organised in layers that mirror the paper's system design:
   sequences used by the discrimination stage.
 * :mod:`repro.identification` -- the two-stage device-type identification
   pipeline (one binary classifier per device-type + edit-distance
-  discrimination).
+  discrimination), plus the online-learning lifecycle: unknown-device
+  quarantine, epoch-based cache invalidation and fleet re-identification
+  when a device-type is registered at runtime.
 * :mod:`repro.devices` -- behaviour profiles and setup-traffic simulation
   for the 27 device-types of Table II.
 * :mod:`repro.datasets` -- fingerprint dataset construction and persistence.
@@ -39,6 +41,12 @@ from repro.identification.identifier import (
     DeviceTypeIdentifier,
     IdentificationResult,
     UNKNOWN_DEVICE_TYPE,
+)
+from repro.identification.lifecycle import (
+    CacheEpoch,
+    LifecycleCoordinator,
+    QuarantineLog,
+    RelearnReport,
 )
 from repro.identification.model_store import (
     load_bank,
@@ -69,6 +77,10 @@ __all__ = [
     "DeviceTypeIdentifier",
     "IdentificationResult",
     "UNKNOWN_DEVICE_TYPE",
+    "CacheEpoch",
+    "LifecycleCoordinator",
+    "QuarantineLog",
+    "RelearnReport",
     "FingerprintRegistry",
     "load_bank",
     "load_identifier",

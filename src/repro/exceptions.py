@@ -37,6 +37,10 @@ class ModelStoreError(ReproError):
     """Raised when a persisted model bundle is missing, corrupt or incompatible."""
 
 
+class LifecycleError(ReproError):
+    """Raised for invalid online-learning lifecycle operations."""
+
+
 class DeviceProfileError(ReproError):
     """Raised when a device behaviour profile is invalid."""
 

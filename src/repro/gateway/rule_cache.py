@@ -33,6 +33,7 @@ class EnforcementRuleCache:
     lookups: int = 0
     hits: int = 0
     insertions: int = 0
+    replacements: int = 0
     evictions: int = 0
 
     def __post_init__(self) -> None:
@@ -43,13 +44,22 @@ class EnforcementRuleCache:
     # Store / evict.
     # ------------------------------------------------------------------ #
     def store(self, rule: EnforcementRule, now: float = 0.0) -> None:
-        """Insert or replace the rule of a device."""
-        if self.max_entries is not None and rule.device_mac not in self._rules:
+        """Insert or replace the rule of a device.
+
+        A replacement (rule upgrade of an already-cached device) is
+        counted under ``replacements``, not ``insertions`` -- the latter
+        tracks cache growth, and conflating the two overstated it.
+        """
+        replacing = rule.device_mac in self._rules
+        if self.max_entries is not None and not replacing:
             while len(self._rules) >= self.max_entries:
                 self._evict_oldest()
         self._rules[rule.device_mac] = rule
         self._last_access[rule.device_mac] = now
-        self.insertions += 1
+        if replacing:
+            self.replacements += 1
+        else:
+            self.insertions += 1
 
     def _evict_oldest(self) -> None:
         oldest = min(self._last_access, key=self._last_access.get)

@@ -140,6 +140,16 @@ class SecurityGateway:
         record = self.connect_device(packet.src_mac)
         record.touch(packet.timestamp)
         if packet.src_ip and packet.src_ip != "0.0.0.0":
+            # DHCP re-assignment: evict the previous IP's mapping (if it is
+            # still ours) so _destination_record cannot resolve the dead IP
+            # to this device after another device claims it.
+            previous_ip = record.ip_address
+            if (
+                previous_ip
+                and previous_ip != packet.src_ip
+                and self.ip_to_mac.get(previous_ip) == packet.src_mac
+            ):
+                del self.ip_to_mac[previous_ip]
             record.ip_address = packet.src_ip
             self.ip_to_mac[packet.src_ip] = packet.src_mac
         fingerprint = self.monitor.observe(packet)
@@ -253,9 +263,9 @@ class SecurityGateway:
             # Unidentified device: allow local/broadcast traffic needed to
             # complete setup, block direct Internet access until assessed.
             if destination_is_local or not packet.has_ip:
-                return AuthorizationDecision(allowed=True, reason="unidentified device, local traffic")
-            allowed = False
-            decision = AuthorizationDecision(allowed=allowed, reason="unidentified device, internet blocked")
+                decision = AuthorizationDecision(allowed=True, reason="unidentified device, local traffic")
+            else:
+                decision = AuthorizationDecision(allowed=False, reason="unidentified device, internet blocked")
             self._count(decision)
             return decision
 

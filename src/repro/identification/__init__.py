@@ -6,7 +6,15 @@ from repro.identification.classifier_bank import (
     DeviceTypeClassifier,
 )
 from repro.identification.identifier import DeviceTypeIdentifier, IdentificationResult
+from repro.identification.lifecycle import (
+    CacheEpoch,
+    LifecycleCoordinator,
+    QuarantineLog,
+    QuarantinedDevice,
+    RelearnReport,
+)
 from repro.identification.model_store import (
+    bundle_epoch,
     load_bank,
     load_identifier,
     save_bank,
@@ -16,11 +24,17 @@ from repro.identification.registry import FingerprintRegistry
 
 __all__ = [
     "BankScores",
+    "CacheEpoch",
     "ClassifierBank",
     "DeviceTypeClassifier",
     "DeviceTypeIdentifier",
     "IdentificationResult",
+    "LifecycleCoordinator",
+    "QuarantineLog",
+    "QuarantinedDevice",
+    "RelearnReport",
     "FingerprintRegistry",
+    "bundle_epoch",
     "load_bank",
     "load_identifier",
     "save_bank",

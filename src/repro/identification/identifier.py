@@ -73,12 +73,19 @@ class DeviceTypeIdentifier:
             (unknown) device-type.  This protects against per-type
             classifiers accepting wildly out-of-distribution fingerprints.
             ``None`` disables the guard (the paper's exact behaviour).
+        revision: bumped by every :meth:`add_device_type`.  Any component
+            caching identification results must treat a revision change as
+            invalidating every cached verdict; the
+            :class:`~repro.identification.lifecycle.LifecycleCoordinator`
+            automates that (epoch bump + cache clears + fleet
+            re-identification).
     """
 
     bank: ClassifierBank
     registry: FingerprintRegistry
     discriminator: EditDistanceDiscriminator = field(default_factory=EditDistanceDiscriminator)
     novelty_threshold: Optional[float] = 0.85
+    revision: int = 0
 
     @classmethod
     def train(
@@ -116,6 +123,11 @@ class DeviceTypeIdentifier:
 
         Existing classifiers are left untouched -- the scalability property
         the paper emphasises over multi-class approaches such as GTID.
+        Callers holding caches of identification results must invalidate
+        them (see :attr:`revision`); previously "unknown" devices should be
+        re-identified against the grown bank -- the
+        :class:`~repro.identification.lifecycle.LifecycleCoordinator` does
+        both.
         """
         if not fingerprints:
             raise IdentificationError("a new device-type needs at least one fingerprint")
@@ -126,6 +138,7 @@ class DeviceTypeIdentifier:
             self.registry.fingerprints_of(device_type),
             self.registry.fingerprints_excluding(device_type),
         )
+        self.revision += 1
 
     # ------------------------------------------------------------------ #
     # Identification.

@@ -30,7 +30,12 @@ Robustness guarantees:
   loudly at load time, not at serve time;
 * the discriminator's random-generator state is captured exactly, so a
   reloaded identifier reproduces the original's verdict stream
-  bit-for-bit.
+  bit-for-bit;
+* a bundle may be stamped with the cache-generation *epoch* it was saved
+  under (see :mod:`repro.identification.lifecycle`); loading with
+  ``expected_epoch`` rejects bundles from any other epoch, so a runtime
+  that has learned device-types since a snapshot cannot silently serve
+  the pre-learning bank.
 """
 
 from __future__ import annotations
@@ -57,7 +62,12 @@ from repro.ml.compiled import CompiledForest
 STORE_MAGIC = "iot-sentinel-model-store"
 
 #: Bump on any incompatible change to the bundle layout.
-SCHEMA_VERSION = 1
+#: Version 2 added the optional cache-generation ``epoch`` stamp.
+SCHEMA_VERSION = 2
+
+#: Versions this build can still read.  Version 1 bundles predate the
+#: epoch stamp (an additive change); they load with ``epoch=None``.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 
 # --------------------------------------------------------------------- #
@@ -237,10 +247,10 @@ def _read_bundle(path: Union[str, Path]) -> tuple[dict, dict[str, np.ndarray]]:
         raise ModelStoreError(f"model bundle metadata is not valid JSON: {path}") from exc
     if meta.get("magic") != STORE_MAGIC:
         raise ModelStoreError(f"not an IoT SENTINEL model bundle: {path}")
-    if meta.get("schema_version") != SCHEMA_VERSION:
+    if meta.get("schema_version") not in SUPPORTED_SCHEMA_VERSIONS:
         raise ModelStoreError(
             f"unsupported model bundle schema version {meta.get('schema_version')!r} "
-            f"(this build reads version {SCHEMA_VERSION})"
+            f"(this build reads versions {SUPPORTED_SCHEMA_VERSIONS})"
         )
     recorded = meta.get("checksum")
     actual = _checksum(contents)
@@ -252,11 +262,43 @@ def _read_bundle(path: Union[str, Path]) -> tuple[dict, dict[str, np.ndarray]]:
     return meta, contents
 
 
+def _check_epoch(meta: dict, expected_epoch: Optional[int], path: Union[str, Path]) -> None:
+    """Reject a bundle whose recorded epoch differs from the expected one.
+
+    A recorded epoch *older* than expected means the bundle predates one
+    or more runtime type registrations (it would reload a bank that does
+    not know those types); a *newer* one belongs to a runtime ahead of
+    this one.  Either way the bundle's verdicts are not the live ones.
+    """
+    if expected_epoch is None:
+        return
+    recorded = meta.get("epoch")
+    if recorded is None and expected_epoch == 0:
+        # Unstamped bundle (schema v1, or a plain save_identifier call)
+        # loaded by a runtime that has never learned a type: no staleness
+        # is possible yet, so the migration path stays open.
+        return
+    if recorded != expected_epoch:
+        raise ModelStoreError(
+            f"stale model bundle: {path} was saved at cache epoch {recorded!r}, "
+            f"this runtime is at epoch {expected_epoch!r}"
+        )
+
+
+def bundle_epoch(path: Union[str, Path]) -> Optional[int]:
+    """The cache-generation epoch a bundle was saved under (None when unstamped)."""
+    meta, _ = _read_bundle(path)
+    return meta.get("epoch")
+
+
 # --------------------------------------------------------------------- #
 # Public API.
 # --------------------------------------------------------------------- #
 def save_bank(
-    path: Union[str, Path], bank: ClassifierBank, registry: FingerprintRegistry
+    path: Union[str, Path],
+    bank: ClassifierBank,
+    registry: FingerprintRegistry,
+    epoch: Optional[int] = None,
 ) -> Path:
     """Persist a trained classifier bank and its fingerprint registry."""
     bank_meta, arrays = _bank_payload(bank)
@@ -268,13 +310,17 @@ def save_bank(
             "fixed_packet_count": registry.fixed_packet_count,
             "fingerprints": registry_records,
         },
+        "epoch": epoch,
     }
     return _write_bundle(path, meta, arrays)
 
 
-def load_bank(path: Union[str, Path]) -> tuple[ClassifierBank, FingerprintRegistry]:
+def load_bank(
+    path: Union[str, Path], expected_epoch: Optional[int] = None
+) -> tuple[ClassifierBank, FingerprintRegistry]:
     """Reload a bank + registry persisted by :func:`save_bank`."""
     meta, arrays = _read_bundle(path)
+    _check_epoch(meta, expected_epoch, path)
     try:
         bank = _rebuild_bank(meta["bank"], arrays)
         registry = _rebuild_registry(meta["registry"], arrays)
@@ -283,13 +329,19 @@ def load_bank(path: Union[str, Path]) -> tuple[ClassifierBank, FingerprintRegist
     return bank, registry
 
 
-def save_identifier(path: Union[str, Path], identifier: DeviceTypeIdentifier) -> Path:
+def save_identifier(
+    path: Union[str, Path],
+    identifier: DeviceTypeIdentifier,
+    epoch: Optional[int] = None,
+) -> Path:
     """Persist a fully trained two-stage identifier.
 
     Captures the bank (compiled forests), the registry, the discriminator
     configuration *including its exact random-generator state*, and the
     novelty threshold, so the reloaded identifier continues the original's
-    verdict stream exactly.
+    verdict stream exactly.  ``epoch`` stamps the bundle with the cache
+    generation it belongs to (see
+    :class:`~repro.identification.lifecycle.LifecycleCoordinator`).
     """
     bank_meta, arrays = _bank_payload(identifier.bank)
     registry_records, registry_arrays = _registry_arrays(identifier.registry)
@@ -305,13 +357,23 @@ def save_identifier(path: Union[str, Path], identifier: DeviceTypeIdentifier) ->
             "rng_state": _rng_state(identifier.discriminator.rng),
         },
         "novelty_threshold": identifier.novelty_threshold,
+        "epoch": epoch,
     }
     return _write_bundle(path, meta, arrays)
 
 
-def load_identifier(path: Union[str, Path]) -> DeviceTypeIdentifier:
-    """Reload an identifier persisted by :func:`save_identifier`."""
+def load_identifier(
+    path: Union[str, Path], expected_epoch: Optional[int] = None
+) -> DeviceTypeIdentifier:
+    """Reload an identifier persisted by :func:`save_identifier`.
+
+    ``expected_epoch`` (when given) must equal the epoch recorded in the
+    bundle; a mismatch raises :class:`~repro.exceptions.ModelStoreError`
+    instead of quietly serving a bank that is out of sync with the
+    runtime's learned device-types.
+    """
     meta, arrays = _read_bundle(path)
+    _check_epoch(meta, expected_epoch, path)
     try:
         bank = _rebuild_bank(meta["bank"], arrays)
         registry = _rebuild_registry(meta["registry"], arrays)

@@ -30,6 +30,7 @@ from typing import Optional
 from repro.exceptions import SimulationError
 from repro.features.fingerprint import Fingerprint
 from repro.identification.identifier import DeviceTypeIdentifier, IdentificationResult
+from repro.identification.lifecycle import CacheEpoch
 from repro.net.addresses import MACAddress
 from repro.streaming.assembler import ReadyFingerprint
 from repro.streaming.backpressure import BackpressurePolicy, BoundedQueue, Offer
@@ -40,27 +41,55 @@ def fingerprint_cache_key(fingerprint: Fingerprint) -> bytes:
 
     Two devices of the same model performing the same setup produce the
     same matrix and therefore the same key, which is exactly the sharing
-    the result cache exploits.
+    the result cache exploits.  The dtype is hashed alongside the shape
+    and the raw bytes: equal-byte matrices of different dtypes (an
+    all-zero int64 vs float64 padding block, say) must not collide onto
+    one cached verdict.
     """
     digest = hashlib.sha1()
     digest.update(str(fingerprint.vectors.shape).encode("ascii"))
+    digest.update(str(fingerprint.vectors.dtype).encode("ascii"))
     digest.update(fingerprint.vectors.tobytes())
     return digest.digest()
 
 
 class IdentificationCache:
-    """A fixed-capacity LRU of fingerprint-hash -> identification result."""
+    """A fixed-capacity LRU of fingerprint-hash -> identification result.
 
-    def __init__(self, capacity: int = 512):
+    Every entry is stamped with the generation of :attr:`epoch` current at
+    insertion; a lookup that finds an entry from an older generation
+    evicts it and reports a miss.  By default each cache has a private
+    epoch (plain LRU semantics); sharing one
+    :class:`~repro.identification.lifecycle.CacheEpoch` across caches lets
+    the lifecycle coordinator invalidate all of them with a single bump --
+    stale verdicts become unreachable even if an explicit :meth:`clear`
+    never reaches this cache.
+    """
+
+    def __init__(self, capacity: int = 512, epoch: Optional[CacheEpoch] = None):
         if capacity <= 0:
             raise SimulationError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
+        self.epoch = epoch if epoch is not None else CacheEpoch()
         self.hits = 0
         self.misses = 0
-        self._entries: OrderedDict[bytes, IdentificationResult] = OrderedDict()
+        self.stale_rejections = 0
+        self._entries: OrderedDict[bytes, tuple[int, IdentificationResult]] = OrderedDict()
+
+    def _fresh(self, key: bytes) -> Optional[IdentificationResult]:
+        """The entry's result if it is from the current generation, else None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        generation, result = entry
+        if generation != self.epoch.generation:
+            del self._entries[key]
+            self.stale_rejections += 1
+            return None
+        return result
 
     def get(self, key: bytes) -> Optional[IdentificationResult]:
-        result = self._entries.get(key)
+        result = self._fresh(key)
         if result is None:
             self.misses += 1
             return None
@@ -74,11 +103,12 @@ class IdentificationCache:
         Used by the batch path to pick up results that were cached after a
         fingerprint was already queued as a miss; counting those as hits
         would double-book the lookup the submit path already recorded.
+        Stale-generation entries are still evicted and withheld.
         """
-        return self._entries.get(key)
+        return self._fresh(key)
 
     def put(self, key: bytes, result: IdentificationResult) -> None:
-        self._entries[key] = result
+        self._entries[key] = (self.epoch.generation, result)
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

@@ -21,6 +21,7 @@ from typing import Callable, Iterator, Optional
 
 from repro.gateway.security_gateway import SecurityGateway
 from repro.identification.identifier import UNKNOWN_DEVICE_TYPE
+from repro.identification.lifecycle import LifecycleCoordinator
 from repro.security_service.service import IoTSecurityService
 from repro.simulation.clock import SimulatedClock
 from repro.streaming.assembler import AssemblerStats, ShardedFingerprintAssembler
@@ -216,11 +217,19 @@ class GatewayEnforcementSink:
     identified type -- only fresh devices and re-identifications to a
     known type change enforcement.  Set ``sticky=False`` to apply every
     verdict verbatim (e.g. when deliberately re-profiling a fleet).
+
+    With a ``lifecycle`` coordinator attached, every verdict the sink
+    enforces is also reported to it: unknown devices enter the quarantine
+    log (so a later
+    :meth:`~repro.identification.lifecycle.LifecycleCoordinator.learn_device_type`
+    can re-identify them and upgrade their strict rules), successful
+    identifications release any quarantine entry for the MAC.
     """
 
     gateway: SecurityGateway
     security_service: IoTSecurityService
     sticky: bool = True
+    lifecycle: Optional[LifecycleCoordinator] = None
     enforced: int = 0
     skipped_downgrades: int = 0
 
@@ -228,8 +237,12 @@ class GatewayEnforcementSink:
         if self.sticky and identified.result.is_new_device_type:
             record = self.gateway.devices.get(identified.mac)
             if record is not None and record.device_type not in (None, UNKNOWN_DEVICE_TYPE):
+                # Already identified: a steady-state "unknown" is noise,
+                # not a fresh device to quarantine.
                 self.skipped_downgrades += 1
                 return
         assessment = self.security_service.assess_device_type(identified.result.device_type)
         self.gateway.apply_assessment(identified.mac, assessment)
         self.enforced += 1
+        if self.lifecycle is not None:
+            self.lifecycle.note_identified(identified, now=self.gateway.clock.now())

@@ -103,6 +103,16 @@ class TestRuleCache:
         assert len(cache) == 1
         assert cache.lookup(MAC).isolation_level is IsolationLevel.TRUSTED
 
+    def test_replacement_not_counted_as_insertion(self):
+        # A rule upgrade of an already-cached device is a replacement;
+        # counting it under insertions overstated cache growth.
+        cache = EnforcementRuleCache()
+        cache.store(EnforcementRule(MAC, IsolationLevel.STRICT))
+        cache.store(EnforcementRule(MAC, IsolationLevel.TRUSTED))
+        cache.store(EnforcementRule(OTHER, IsolationLevel.STRICT))
+        assert cache.insertions == 2
+        assert cache.replacements == 1
+
     def test_remove(self):
         cache = EnforcementRuleCache()
         cache.store(EnforcementRule(MAC, IsolationLevel.STRICT))

@@ -139,6 +139,39 @@ class TestAuthorization:
         assert gateway.packets_blocked == blocked_before + 1
         assert gateway.packets_allowed == allowed_before
 
+    def test_unidentified_local_traffic_is_counted(self, gateway):
+        # Setup-phase local traffic of a not-yet-assessed device is
+        # allowed *and* counted: skipping the counter undercounted
+        # packets_allowed and skewed the Table VI-style accounting.
+        stranger = MACAddress.from_string("02:00:00:00:00:99")
+        broadcast = MACAddress.from_string("ff:ff:ff:ff:ff:ff")
+        allowed_before = gateway.packets_allowed
+        decision = gateway.authorize(
+            make_udp_packet(stranger, broadcast, "0.0.0.0", "255.255.255.255", dst_port=67)
+        )
+        assert decision.allowed
+        assert gateway.packets_allowed == allowed_before + 1
+
+    def test_dhcp_reassignment_evicts_stale_ip_mapping(self, gateway):
+        # A DHCP re-assignment must remove the old IP's mapping, or
+        # _destination_record can resolve the dead IP to the wrong device
+        # once another device claims it.
+        device = MACAddress.from_string("02:00:00:00:00:42")
+        first = make_udp_packet(device, EXTERNAL_MAC, "192.168.0.50", "192.168.0.1")
+        second = make_udp_packet(device, EXTERNAL_MAC, "192.168.0.77", "192.168.0.1")
+        gateway.observe_setup_packet(first)
+        gateway.observe_setup_packet(second)
+        assert gateway.ip_to_mac.get("192.168.0.77") == device
+        assert "192.168.0.50" not in gateway.ip_to_mac
+        assert gateway.devices[device].ip_address == "192.168.0.77"
+
+        # The freed address can be claimed by a different device.
+        newcomer = MACAddress.from_string("02:00:00:00:00:43")
+        gateway.observe_setup_packet(
+            make_udp_packet(newcomer, EXTERNAL_MAC, "192.168.0.50", "192.168.0.1")
+        )
+        assert gateway.ip_to_mac.get("192.168.0.50") == newcomer
+
 
 class TestDatapath:
     def test_handle_packet_uses_flow_table_and_controller(self, gateway):

@@ -309,6 +309,18 @@ class TestBatchDispatcher:
         assert key == fingerprint_cache_key(Fingerprint.from_packets(clone.packets))
         assert key != fingerprint_cache_key(Fingerprint.from_packets(other.packets))
 
+    def test_cache_key_distinguishes_dtype(self):
+        # Equal-byte matrices of different dtypes (all-zero int64 vs
+        # float64, same shape) must not collide onto one cached verdict;
+        # the key hashes the dtype alongside shape and bytes.
+        import numpy as np
+        from types import SimpleNamespace
+
+        as_int = SimpleNamespace(vectors=np.zeros((3, 23), dtype=np.int64))
+        as_float = SimpleNamespace(vectors=np.zeros((3, 23), dtype=np.float64))
+        assert as_int.vectors.tobytes() == as_float.vectors.tobytes()
+        assert fingerprint_cache_key(as_int) != fingerprint_cache_key(as_float)
+
     def test_unknown_verdicts_are_not_cached(self, simulator):
         # If an unknown model's verdict were cached, registering the type
         # later (add_device_type) could never reach those devices again.
