@@ -29,11 +29,17 @@ from repro.devices.catalog import DEVICE_CATALOG
 from repro.devices.simulator import SetupTrafficSimulator
 from repro.features.fingerprint import Fingerprint
 from repro.gateway.security_gateway import SecurityGateway
-from repro.identification.identifier import DeviceTypeIdentifier
+from repro.identification.autopilot import LifecycleAutopilot, TriggerPolicy
+from repro.identification.identifier import (
+    DeviceTypeIdentifier,
+    IdentificationResult,
+    UNKNOWN_DEVICE_TYPE,
+)
 from repro.identification.lifecycle import LifecycleCoordinator
+from repro.net.addresses import MACAddress
 from repro.security_service.isolation import IsolationLevel
 from repro.security_service.service import IoTSecurityService
-from repro.streaming import GatewayEnforcementSink
+from repro.streaming import GatewayEnforcementSink, IdentifiedDevice
 
 from benchmarks.conftest import BENCH_QUICK, BENCH_SEED
 
@@ -41,6 +47,19 @@ KNOWN_TYPES = ("Aria", "HueBridge", "EdnetCam", "WeMoSwitch", "TP-LinkPlugHS110"
 LEARNED_TYPE = "HomeMaticPlug"
 FLEET_SIZE = 10 if BENCH_QUICK else 60
 TRAINING_RUNS = 8
+#: Unknown singleton devices mixed into the quarantine for the autopilot
+#: benchmark: cluster detection must pick the real cluster out of noise.
+NOISE_DEVICES = 4 if BENCH_QUICK else 16
+
+#: Both benchmarks in this file report into one BENCH_relearn.json; each
+#: records its section here and writes the merged document, so the file
+#: is complete whenever both ran and partial (but valid) for a lone run.
+_SECTIONS: dict = {}
+
+
+def _report(bench_report, section: str, payload: dict) -> None:
+    _SECTIONS[section] = payload
+    bench_report("relearn", dict(_SECTIONS))
 
 
 def build_quarantined_stack():
@@ -130,17 +149,121 @@ def test_relearn_throughput(benchmark, bench_report):
     # The pre-learning cache entry is unreachable (epoch + clear).
     assert cache.get(b"pre-learning") is None
 
-    bench_report(
+    _report(
+        bench_report,
         "relearn",
         {
-            "relearn": {
-                "fleet_size": FLEET_SIZE,
-                "upgraded": len(report.upgraded),
-                "still_unknown": len(report.still_unknown),
-                "identify_seconds_batched": report.identify_seconds,
-                "identify_seconds_per_fingerprint_baseline": baseline_seconds,
-                "devices_per_second": report.devices_per_second,
-                "epoch_generation": report.generation,
-            }
+            "fleet_size": FLEET_SIZE,
+            "upgraded": len(report.upgraded),
+            "still_unknown": len(report.still_unknown),
+            "identify_seconds_batched": report.identify_seconds,
+            "identify_seconds_per_fingerprint_baseline": baseline_seconds,
+            "devices_per_second": report.devices_per_second,
+            "epoch_generation": report.generation,
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# The autopilot trigger path.
+# --------------------------------------------------------------------- #
+def build_autopilot_stack():
+    """A cluster of identical unseen-model devices buried in noise.
+
+    The measured path is everything ``LifecycleAutopilot.poll`` does:
+    group the quarantine log into same-model clusters, apply the trigger
+    policy, train the provisional classifier, bump the epoch, batch
+    re-identify the fleet and replace every upgraded strict rule.
+    """
+    from repro.datasets.builder import generate_fingerprint_dataset
+
+    dataset = generate_fingerprint_dataset(
+        runs_per_type=TRAINING_RUNS, device_names=list(KNOWN_TYPES), seed=BENCH_SEED
+    )
+    identifier = DeviceTypeIdentifier.train(dataset.to_registry(), random_state=BENCH_SEED)
+
+    service = IoTSecurityService(identifier=identifier)
+    gateway = SecurityGateway(security_service=service)
+    coordinator = LifecycleCoordinator(identifier=identifier)
+    sink = GatewayEnforcementSink(
+        gateway=gateway, security_service=service, lifecycle=coordinator
+    )
+    coordinator.sink = sink
+    gateway.attach_lifecycle(coordinator)
+    autopilot = LifecycleAutopilot(
+        coordinator,
+        policy=TriggerPolicy(min_cluster_size=FLEET_SIZE),
+        security_service=service,
+    )
+
+    def quarantine_through_sink(mac, fingerprint):
+        sink(
+            IdentifiedDevice(
+                mac=mac,
+                fingerprint=fingerprint,
+                result=IdentificationResult(
+                    device_type=UNKNOWN_DEVICE_TYPE, matched_types=()
+                ),
+                completion_reason="idle",
+            )
+        )
+
+    profile = DEVICE_CATALOG[LEARNED_TYPE]
+    cluster_macs = []
+    for index in range(FLEET_SIZE):
+        # Same seed, distinct MACs: one model performing one identical
+        # setup procedure -- the sharing cluster detection keys on.
+        mac = MACAddress.from_string(f"02:be:7c:00:{index // 256:02x}:{index % 256:02x}")
+        trace = SetupTrafficSimulator(seed=BENCH_SEED + 1).simulate(profile, device_mac=mac)
+        quarantine_through_sink(mac, Fingerprint.from_packets(trace.packets))
+        cluster_macs.append(mac)
+    noise_simulator = SetupTrafficSimulator(seed=BENCH_SEED + 2)
+    for index in range(NOISE_DEVICES):
+        trace = noise_simulator.simulate(DEVICE_CATALOG["SmarterCoffee"])
+        quarantine_through_sink(trace.device_mac, Fingerprint.from_packets(trace.packets))
+    return gateway, coordinator, autopilot, cluster_macs
+
+
+def test_autopilot_trigger_throughput(benchmark, bench_report):
+    gateway, coordinator, autopilot, cluster_macs = build_autopilot_stack()
+    assert len(coordinator.quarantine) == FLEET_SIZE + NOISE_DEVICES
+
+    start = time.perf_counter()
+    decisions = benchmark.pedantic(
+        autopilot.poll, kwargs={"now": 1_000.0}, rounds=1, iterations=1
+    )
+    poll_seconds = time.perf_counter() - start
+
+    assert [decision.action for decision in decisions] == ["learned"]
+    report = decisions[0].report
+    assert len(report.upgraded) == FLEET_SIZE
+    # The noise singletons never reach the threshold and stay parked.
+    assert len(coordinator.quarantine) >= NOISE_DEVICES - len(report.still_unknown)
+    for mac in cluster_macs:
+        rule = gateway.rule_cache.lookup(mac)
+        assert rule is not None
+        assert rule.isolation_level is not IsolationLevel.STRICT
+
+    print()
+    print("Autopilot trigger path (cluster detection -> learn -> enforce)")
+    print(f"  quarantined                    {FLEET_SIZE + NOISE_DEVICES} devices "
+          f"({FLEET_SIZE} clustered + {NOISE_DEVICES} noise)")
+    print(f"  poll wall time                 {poll_seconds * 1000:.1f} ms")
+    print(f"  re-identification              {report.identify_seconds * 1000:.1f} ms "
+          f"({report.devices_per_second:,.0f} devices/s)")
+    print(f"  upgraded                       {len(report.upgraded)} "
+          f"(provisional label {report.device_type!r})")
+
+    _report(
+        bench_report,
+        "autopilot",
+        {
+            "cluster_size": FLEET_SIZE,
+            "noise_devices": NOISE_DEVICES,
+            "poll_seconds": poll_seconds,
+            "identify_seconds": report.identify_seconds,
+            "devices_per_second": report.devices_per_second,
+            "upgraded": len(report.upgraded),
+            "triggers_fired": autopilot.triggers_fired,
         },
     )

@@ -37,6 +37,13 @@ intended way to consume the package.
 
 from repro.features.fingerprint import Fingerprint, fingerprint_from_packets
 from repro.gateway.security_gateway import SecurityGateway
+from repro.identification.autopilot import (
+    LearnProposal,
+    LifecycleAutopilot,
+    ReprofileReport,
+    ReprofileScheduler,
+    TriggerPolicy,
+)
 from repro.identification.identifier import (
     DeviceTypeIdentifier,
     IdentificationResult,
@@ -47,6 +54,8 @@ from repro.identification.lifecycle import (
     LifecycleCoordinator,
     QuarantineLog,
     RelearnReport,
+    load_quarantine_log,
+    save_quarantine_log,
 )
 from repro.identification.model_store import (
     load_bank,
@@ -78,14 +87,21 @@ __all__ = [
     "IdentificationResult",
     "UNKNOWN_DEVICE_TYPE",
     "CacheEpoch",
+    "LearnProposal",
+    "LifecycleAutopilot",
     "LifecycleCoordinator",
     "QuarantineLog",
     "RelearnReport",
+    "ReprofileReport",
+    "ReprofileScheduler",
+    "TriggerPolicy",
     "FingerprintRegistry",
     "load_bank",
     "load_identifier",
+    "load_quarantine_log",
     "save_bank",
     "save_identifier",
+    "save_quarantine_log",
     "IoTSecurityService",
     "SecurityAssessment",
     "BatchDispatcher",

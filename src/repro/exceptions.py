@@ -41,6 +41,10 @@ class LifecycleError(ReproError):
     """Raised for invalid online-learning lifecycle operations."""
 
 
+class AutopilotError(LifecycleError):
+    """Raised for invalid autopilot policies or trigger operations."""
+
+
 class DeviceProfileError(ReproError):
     """Raised when a device behaviour profile is invalid."""
 

@@ -11,11 +11,15 @@ an eviction policy for stale entries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.exceptions import EnforcementError
 from repro.gateway.enforcement import EnforcementRule
 from repro.net.addresses import MACAddress
+
+#: ``reason`` values passed to :attr:`EnforcementRuleCache.on_evict`.
+EVICT_CAPACITY = "capacity"
+EVICT_STALE = "stale"
 
 
 @dataclass
@@ -25,9 +29,19 @@ class EnforcementRuleCache:
     Attributes:
         max_entries: optional hard cap; inserting beyond it evicts the
             least-recently-used entry.
+        on_evict: optional callback ``(mac, reason)`` invoked whenever the
+            cache evicts a rule on its own initiative -- ``reason`` is
+            ``"capacity"`` (LRU pressure; the device may well still be
+            connected) or ``"stale"`` (idle beyond ``max_idle_seconds``;
+            the device has very likely left the network).  The Security
+            Gateway uses the stale signal to tell the lifecycle
+            coordinator to stop re-identifying departed devices.
+            Explicit :meth:`remove` calls do not fire it (the remover
+            already knows).
     """
 
     max_entries: Optional[int] = None
+    on_evict: Optional[Callable[[MACAddress, str], None]] = None
     _rules: dict[MACAddress, EnforcementRule] = field(default_factory=dict)
     _last_access: dict[MACAddress, float] = field(default_factory=dict)
     lookups: int = 0
@@ -66,6 +80,8 @@ class EnforcementRuleCache:
         self._rules.pop(oldest, None)
         self._last_access.pop(oldest, None)
         self.evictions += 1
+        if self.on_evict is not None:
+            self.on_evict(oldest, EVICT_CAPACITY)
 
     def remove(self, mac: MACAddress) -> bool:
         """Remove the rule of a disconnected device; True when one existed."""
@@ -85,6 +101,8 @@ class EnforcementRuleCache:
         for mac in stale:
             self.remove(mac)
             self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(mac, EVICT_STALE)
         return len(stale)
 
     # ------------------------------------------------------------------ #

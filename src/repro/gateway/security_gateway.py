@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.exceptions import EnforcementError
 from repro.features.fingerprint import Fingerprint
 from repro.gateway.enforcement import DeviceRecord, EnforcementRule, NetworkOverlay
 from repro.gateway.monitoring import DeviceMonitor
-from repro.gateway.rule_cache import EnforcementRuleCache
+from repro.gateway.rule_cache import EVICT_STALE, EnforcementRuleCache
 from repro.gateway.wireless import WPSKeyManager
 from repro.net.addresses import MACAddress
 from repro.net.packet import Packet
@@ -20,6 +20,9 @@ from repro.security_service.isolation import IsolationLevel
 from repro.security_service.service import IoTSecurityService, SecurityAssessment
 from repro.simulation.clock import SimulatedClock
 from repro.simulation.resources import GatewayResourceModel, ResourceSample
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.identification.lifecycle import LifecycleCoordinator
 
 #: Vulnerabilities at or above this CVSS-like severity trigger a user
 #: notification (mitigation strategy 3: some devices cannot be adequately
@@ -79,6 +82,7 @@ class SecurityGateway:
     resource_model: GatewayResourceModel = field(default_factory=GatewayResourceModel)
 
     name: str = "iot-sentinel-gateway"
+    lifecycle: Optional["LifecycleCoordinator"] = None
     devices: dict[MACAddress, DeviceRecord] = field(default_factory=dict)
     ip_to_mac: dict[str, MACAddress] = field(default_factory=dict)
     notifications: list[str] = field(default_factory=list)
@@ -118,8 +122,41 @@ class SecurityGateway:
         self.switch.learn_port(mac, port)
         return record
 
+    def attach_lifecycle(self, coordinator: "LifecycleCoordinator") -> None:
+        """Couple device departure into the online-learning lifecycle.
+
+        After attachment, :meth:`disconnect_device` and the rule cache's
+        idle-eviction path (``evict_stale``; the gateway's proxy for "no
+        longer connected") both report the departed MAC to the
+        coordinator, which drops it from the quarantine log and from any
+        pending autopilot proposal -- a device that left the network is
+        never re-identified, enforced or counted toward a learning
+        cluster.  Capacity (LRU) evictions do *not* count as departure:
+        a rule squeezed out of a full cache may belong to a device that
+        is still very much connected.
+
+        A callback already installed on ``rule_cache.on_evict`` (e.g. a
+        metrics hook) keeps firing: the lifecycle wiring chains after it
+        instead of replacing it.
+        """
+        self.lifecycle = coordinator
+        existing = self.rule_cache.on_evict
+        if existing is None or existing is self._on_rule_evicted:
+            self.rule_cache.on_evict = self._on_rule_evicted
+        else:
+
+            def chained(mac: MACAddress, reason: str) -> None:
+                existing(mac, reason)
+                self._on_rule_evicted(mac, reason)
+
+            self.rule_cache.on_evict = chained
+
+    def _on_rule_evicted(self, mac: MACAddress, reason: str) -> None:
+        if reason == EVICT_STALE and self.lifecycle is not None:
+            self.lifecycle.note_disconnected(mac)
+
     def disconnect_device(self, mac: MACAddress) -> None:
-        """Remove a device: its rules are evicted and credentials revoked."""
+        """Remove a device: rules evicted, credentials revoked, lifecycle told."""
         record = self.devices.pop(mac, None)
         if record is None:
             return
@@ -129,6 +166,8 @@ class SecurityGateway:
         self.switch.remove_rules(f"enforce-{mac}")
         self.wps.revoke(mac)
         self.monitor.forget(mac)
+        if self.lifecycle is not None:
+            self.lifecycle.note_disconnected(mac)
 
     def observe_setup_packet(self, packet: Packet) -> Optional[DeviceRecord]:
         """Feed one setup-phase packet of a device being profiled.

@@ -1,5 +1,14 @@
 """Two-stage device-type identification (Sect. IV-B of the paper)."""
 
+from repro.identification.autopilot import (
+    AutopilotDecision,
+    LearnProposal,
+    LifecycleAutopilot,
+    ReprofileReport,
+    ReprofileScheduler,
+    TriggerPolicy,
+    provisional_label,
+)
 from repro.identification.classifier_bank import (
     BankScores,
     ClassifierBank,
@@ -12,6 +21,9 @@ from repro.identification.lifecycle import (
     QuarantineLog,
     QuarantinedDevice,
     RelearnReport,
+    fingerprint_key,
+    load_quarantine_log,
+    save_quarantine_log,
 )
 from repro.identification.model_store import (
     bundle_epoch,
@@ -23,20 +35,30 @@ from repro.identification.model_store import (
 from repro.identification.registry import FingerprintRegistry
 
 __all__ = [
+    "AutopilotDecision",
     "BankScores",
     "CacheEpoch",
     "ClassifierBank",
     "DeviceTypeClassifier",
     "DeviceTypeIdentifier",
     "IdentificationResult",
+    "LearnProposal",
+    "LifecycleAutopilot",
     "LifecycleCoordinator",
     "QuarantineLog",
     "QuarantinedDevice",
     "RelearnReport",
+    "ReprofileReport",
+    "ReprofileScheduler",
+    "TriggerPolicy",
     "FingerprintRegistry",
     "bundle_epoch",
+    "fingerprint_key",
     "load_bank",
     "load_identifier",
+    "load_quarantine_log",
+    "provisional_label",
     "save_bank",
     "save_identifier",
+    "save_quarantine_log",
 ]

@@ -33,10 +33,24 @@ atomic across all three:
   replaced (and WPS credentials rekeyed where the new isolation level
   warrants it), and rolls a fresh model-store snapshot stamped with the
   new epoch so a loaded bundle knows which cache generation it belongs to.
+
+Two durability/coupling layers round the subsystem out:
+
+* the quarantine log can be *persisted* beside the model bundle
+  (:func:`save_quarantine_log` / :func:`load_quarantine_log`, or
+  write-through via :attr:`LifecycleCoordinator.quarantine_path`); a
+  restarted gateway rebuilds the whole lifecycle state with
+  :meth:`LifecycleCoordinator.resume` and loses no pending device;
+* :meth:`LifecycleCoordinator.note_disconnected` couples gateway-side
+  device departure (explicit disconnect, idle rule eviction) into the
+  lifecycle so departed devices are neither re-identified nor counted
+  toward the autopilot's learning clusters
+  (:mod:`repro.identification.autopilot` drives the triggers).
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -46,7 +60,13 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 from repro.exceptions import LifecycleError
 from repro.features.fingerprint import Fingerprint
 from repro.identification.identifier import DeviceTypeIdentifier
-from repro.identification.model_store import load_identifier, save_identifier
+from repro.identification.model_store import (
+    load_identifier,
+    load_identifier_with_epoch,
+    load_quarantine_records,
+    save_identifier,
+    save_quarantine_records,
+)
 from repro.net.addresses import MACAddress
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
@@ -58,6 +78,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
 RELEARN_REASON = "relearn"
 
 
+def fingerprint_key(fingerprint: Fingerprint) -> bytes:
+    """A content hash of the fingerprint matrix (MAC and label excluded).
+
+    Two devices of the same model performing the same setup produce the
+    same matrix and therefore the same key -- the sharing both the
+    dispatcher's result cache and the autopilot's unknown-model cluster
+    detection exploit.  The dtype is hashed alongside the shape and the
+    raw bytes: equal-byte matrices of different dtypes (an all-zero int64
+    vs float64 padding block, say) must not collide onto one key.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.features.fingerprint import Fingerprint, FEATURE_COUNT
+        >>> rows = np.zeros((2, FEATURE_COUNT), dtype=np.int64)
+        >>> a = Fingerprint(vectors=rows, device_mac="02:00:00:00:00:01")
+        >>> b = Fingerprint(vectors=rows.copy(), device_mac="02:00:00:00:00:02")
+        >>> fingerprint_key(a) == fingerprint_key(b)  # same model, same setup
+        True
+    """
+    digest = hashlib.sha1()
+    digest.update(str(fingerprint.vectors.shape).encode("ascii"))
+    digest.update(str(fingerprint.vectors.dtype).encode("ascii"))
+    digest.update(fingerprint.vectors.tobytes())
+    return digest.digest()
+
+
 class CacheEpoch:
     """A monotonic generation counter shared by verdict caches.
 
@@ -66,6 +112,13 @@ class CacheEpoch:
     it as a miss and evicts it.  Bumping the epoch therefore invalidates
     every sharing cache *atomically*, without enumerating them -- the
     belt to ``clear()``'s braces.
+
+    Example:
+        >>> epoch = CacheEpoch()
+        >>> epoch.bump()
+        1
+        >>> epoch.generation, epoch.invalidations
+        (1, 1)
     """
 
     __slots__ = ("generation", "invalidations")
@@ -105,6 +158,23 @@ class QuarantineLog:
     re-onboarding anything.  Insertion order is retained; exceeding
     ``capacity`` evicts the oldest entry (a device quarantined long ago is
     the least likely to still be connected).
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.features.fingerprint import Fingerprint, FEATURE_COUNT
+        >>> from repro.net.addresses import MACAddress
+        >>> log = QuarantineLog(capacity=8)
+        >>> mac = MACAddress.from_string("02:00:00:00:00:01")
+        >>> entry = log.record(
+        ...     mac,
+        ...     Fingerprint(vectors=np.zeros((1, FEATURE_COUNT))),
+        ...     now=4.0,
+        ...     completion_reason="idle",
+        ... )
+        >>> mac in log, len(log)
+        (True, 1)
+        >>> log.discard(mac)  # the device identified, or left the network
+        True
     """
 
     def __init__(self, capacity: int = 1024):
@@ -159,6 +229,66 @@ class QuarantineLog:
         return len(self._devices)
 
 
+def save_quarantine_log(
+    path: Union[str, Path], log: QuarantineLog, epoch: Optional[int] = None
+) -> Path:
+    """Persist a quarantine log beside the model bundle.
+
+    The bundle is schema-versioned, SHA-256-checksummed, epoch-stamped and
+    written atomically (write-then-rename), so a gateway that dies
+    mid-save keeps its last good log.  A restarted gateway reloads it with
+    :func:`load_quarantine_log` and resumes pending re-identifications
+    with no lost devices.
+    """
+    records = [
+        {
+            "mac": entry.mac.value,
+            "vectors": entry.fingerprint.vectors,
+            "quarantined_at": entry.quarantined_at,
+            "completion_reason": entry.completion_reason,
+        }
+        for entry in log.devices()
+    ]
+    counters = {
+        "recorded": log.recorded,
+        "evicted": log.evicted,
+        "released": log.released,
+    }
+    return save_quarantine_records(
+        path, records, capacity=log.capacity, epoch=epoch, counters=counters
+    )
+
+
+def load_quarantine_log(
+    path: Union[str, Path], expected_epoch: Optional[int] = None
+) -> QuarantineLog:
+    """Reload a quarantine log persisted by :func:`save_quarantine_log`.
+
+    ``expected_epoch`` (when given) must equal the epoch recorded in the
+    bundle: a log saved before the latest type registration references a
+    fleet that was already re-identified (or still lists devices a newer
+    runtime has released), so version skew is rejected with
+    :class:`~repro.exceptions.ModelStoreError` rather than resumed.
+    Insertion order and the log's lifetime counters are restored exactly.
+    """
+    meta, records = load_quarantine_records(path, expected_epoch=expected_epoch)
+    log = QuarantineLog(capacity=meta["capacity"])
+    for record in records:
+        log.record(
+            MACAddress(record["mac"]),
+            Fingerprint(vectors=record["vectors"]),
+            now=record["quarantined_at"],
+            completion_reason=record["completion_reason"],
+        )
+    # record() above counted the restorations; overwrite with the saved
+    # lifetime counters so persistence is invisible to the accounting.
+    counters = meta.get("counters", {})
+    log.recorded = counters.get("recorded", log.recorded)
+    log.evicted = counters.get("evicted", log.evicted)
+    log.released = counters.get("released", log.released)
+    return log
+
+
 @dataclass(frozen=True)
 class RelearnReport:
     """What one :meth:`LifecycleCoordinator.learn_device_type` call did."""
@@ -193,6 +323,10 @@ class LifecycleCoordinator:
             pass it as ``IdentificationCache(epoch=coordinator.epoch)``.
         store_path: when set, :meth:`learn_device_type` rolls a fresh
             model-store snapshot here after every registration.
+        quarantine_path: when set, the quarantine log is persisted here
+            (epoch-stamped, beside the model bundle) after every change --
+            a restarted gateway resumes pending re-identifications via
+            :meth:`resume` with no lost devices.
         use_discrimination: forwarded to ``identify_many`` during fleet
             re-identification.
     """
@@ -202,9 +336,12 @@ class LifecycleCoordinator:
     sink: Optional[Callable[["IdentifiedDevice"], None]] = None
     epoch: CacheEpoch = field(default_factory=CacheEpoch)
     store_path: Optional[Union[str, Path]] = None
+    quarantine_path: Optional[Union[str, Path]] = None
     use_discrimination: bool = True
     relearns: int = 0
+    disconnects: int = 0
     _caches: list = field(default_factory=list, repr=False)
+    _disconnect_listeners: list = field(default_factory=list, repr=False)
 
     # ------------------------------------------------------------------ #
     # Cache registration.
@@ -254,9 +391,40 @@ class LifecycleCoordinator:
                 now=now,
                 completion_reason=identified.completion_reason,
             )
+            self._persist_quarantine()
             return True
-        self.quarantine.discard(identified.mac)
+        if self.quarantine.discard(identified.mac):
+            self._persist_quarantine()
         return False
+
+    def note_disconnected(self, mac: MACAddress) -> bool:
+        """A device left the network; stop re-identifying it.
+
+        Called by :meth:`SecurityGateway.disconnect_device
+        <repro.gateway.security_gateway.SecurityGateway.disconnect_device>`
+        (and by the rule cache's idle-eviction path) on a gateway wired
+        through ``attach_lifecycle``.  The device's quarantine entry is
+        dropped -- a departed device must not be re-identified, enforced
+        or counted toward an autopilot learning cluster -- and every
+        registered disconnect listener (e.g. a
+        :class:`~repro.identification.autopilot.LifecycleAutopilot`) is
+        told so pending proposals shed the MAC too.  Returns True when a
+        quarantine entry existed.
+        """
+        self.disconnects += 1
+        present = self.quarantine.discard(mac)
+        if present:
+            self._persist_quarantine()
+        for listener in self._disconnect_listeners:
+            listener(mac)
+        return present
+
+    def add_disconnect_listener(self, listener: Callable[[MACAddress], None]) -> None:
+        """Register a callable invoked with the MAC of every disconnect."""
+        if not callable(listener):
+            raise LifecycleError("a disconnect listener must be callable")
+        if not any(existing is listener for existing in self._disconnect_listeners):
+            self._disconnect_listeners.append(listener)
 
     # ------------------------------------------------------------------ #
     # The coherent registration path.
@@ -321,6 +489,7 @@ class LifecycleCoordinator:
         snapshot_path = None
         if snapshot and self.store_path is not None:
             snapshot_path = self.save_snapshot()
+        self._persist_quarantine()
         self.relearns += 1
         return RelearnReport(
             device_type=device_type,
@@ -356,3 +525,65 @@ class LifecycleCoordinator:
         if target is None:
             raise LifecycleError("no snapshot path: pass one or set store_path")
         return load_identifier(target, expected_epoch=self.epoch.generation)
+
+    # ------------------------------------------------------------------ #
+    # Durable quarantine.
+    # ------------------------------------------------------------------ #
+    def save_quarantine(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Persist the quarantine log, stamped with the current epoch."""
+        target = path if path is not None else self.quarantine_path
+        if target is None:
+            raise LifecycleError("no quarantine path: pass one or set quarantine_path")
+        return save_quarantine_log(target, self.quarantine, epoch=self.epoch.generation)
+
+    def load_quarantine(self, path: Optional[Union[str, Path]] = None) -> QuarantineLog:
+        """Replace the in-memory quarantine log with a persisted one.
+
+        The bundle must carry this coordinator's epoch: a log from another
+        generation describes a fleet the runtime has already re-identified
+        (or not yet quarantined) and is rejected as version skew.
+        """
+        target = path if path is not None else self.quarantine_path
+        if target is None:
+            raise LifecycleError("no quarantine path: pass one or set quarantine_path")
+        self.quarantine = load_quarantine_log(target, expected_epoch=self.epoch.generation)
+        return self.quarantine
+
+    def _persist_quarantine(self) -> None:
+        """Write-through of the quarantine log when a path is configured."""
+        if self.quarantine_path is not None:
+            save_quarantine_log(
+                self.quarantine_path, self.quarantine, epoch=self.epoch.generation
+            )
+
+    @classmethod
+    def resume(
+        cls,
+        store_path: Union[str, Path],
+        quarantine_path: Optional[Union[str, Path]] = None,
+        sink: Optional[Callable[["IdentifiedDevice"], None]] = None,
+        use_discrimination: bool = True,
+    ) -> "LifecycleCoordinator":
+        """Rebuild a coordinator from persisted state after a restart.
+
+        Loads the model bundle, adopts the cache epoch it was stamped with
+        (so caches created through :meth:`make_cache` start at the right
+        generation), and -- when ``quarantine_path`` names an existing
+        file -- restores the quarantine log, rejecting one whose epoch
+        disagrees with the bundle's.  The restarted gateway therefore
+        resumes pending re-identifications exactly where the previous
+        process stopped.
+        """
+        identifier, recorded_epoch = load_identifier_with_epoch(store_path)
+        generation = recorded_epoch or 0
+        coordinator = cls(
+            identifier=identifier,
+            epoch=CacheEpoch(generation),
+            store_path=store_path,
+            quarantine_path=quarantine_path,
+            sink=sink,
+            use_discrimination=use_discrimination,
+        )
+        if quarantine_path is not None and Path(quarantine_path).exists():
+            coordinator.load_quarantine()
+        return coordinator

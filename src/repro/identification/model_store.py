@@ -209,11 +209,17 @@ def _rebuild_bank(meta: dict, arrays: dict[str, np.ndarray]) -> ClassifierBank:
     return bank
 
 
-def _write_bundle(path: Union[str, Path], meta: dict, arrays: dict[str, np.ndarray]) -> Path:
+def _write_bundle(
+    path: Union[str, Path],
+    meta: dict,
+    arrays: dict[str, np.ndarray],
+    magic: str = STORE_MAGIC,
+    schema_version: int = SCHEMA_VERSION,
+) -> Path:
     path = Path(path)
     meta = dict(meta)
-    meta["magic"] = STORE_MAGIC
-    meta["schema_version"] = SCHEMA_VERSION
+    meta["magic"] = magic
+    meta["schema_version"] = schema_version
     meta["checksum"] = _checksum(arrays)
     encoded = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -230,39 +236,49 @@ def _write_bundle(path: Union[str, Path], meta: dict, arrays: dict[str, np.ndarr
     return path
 
 
-def _read_bundle(path: Union[str, Path]) -> tuple[dict, dict[str, np.ndarray]]:
+def _read_bundle(
+    path: Union[str, Path],
+    magic: str = STORE_MAGIC,
+    supported_versions: tuple[int, ...] = SUPPORTED_SCHEMA_VERSIONS,
+    kind: str = "model bundle",
+) -> tuple[dict, dict[str, np.ndarray]]:
     path = Path(path)
     if not path.exists():
-        raise ModelStoreError(f"model bundle does not exist: {path}")
+        raise ModelStoreError(f"{kind} does not exist: {path}")
     try:
         with np.load(path, allow_pickle=False) as archive:
             contents = {key: archive[key] for key in archive.files}
     except (zipfile.BadZipFile, zlib.error, ValueError, OSError, EOFError, KeyError) as exc:
-        raise ModelStoreError(f"model bundle is unreadable (corrupt or truncated): {path}") from exc
+        raise ModelStoreError(f"{kind} is unreadable (corrupt or truncated): {path}") from exc
     if "meta" not in contents:
-        raise ModelStoreError(f"model bundle has no metadata record: {path}")
+        raise ModelStoreError(f"{kind} has no metadata record: {path}")
     try:
         meta = json.loads(bytes(contents.pop("meta")).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ModelStoreError(f"model bundle metadata is not valid JSON: {path}") from exc
-    if meta.get("magic") != STORE_MAGIC:
-        raise ModelStoreError(f"not an IoT SENTINEL model bundle: {path}")
-    if meta.get("schema_version") not in SUPPORTED_SCHEMA_VERSIONS:
+        raise ModelStoreError(f"{kind} metadata is not valid JSON: {path}") from exc
+    if meta.get("magic") != magic:
+        raise ModelStoreError(f"not an IoT SENTINEL {kind}: {path}")
+    if meta.get("schema_version") not in supported_versions:
         raise ModelStoreError(
-            f"unsupported model bundle schema version {meta.get('schema_version')!r} "
-            f"(this build reads versions {SUPPORTED_SCHEMA_VERSIONS})"
+            f"unsupported {kind} schema version {meta.get('schema_version')!r} "
+            f"(this build reads versions {supported_versions})"
         )
     recorded = meta.get("checksum")
     actual = _checksum(contents)
     if recorded != actual:
         raise ModelStoreError(
-            f"model bundle checksum mismatch (file corrupt): {path} "
+            f"{kind} checksum mismatch (file corrupt): {path} "
             f"recorded={recorded!r} actual={actual!r}"
         )
     return meta, contents
 
 
-def _check_epoch(meta: dict, expected_epoch: Optional[int], path: Union[str, Path]) -> None:
+def _check_epoch(
+    meta: dict,
+    expected_epoch: Optional[int],
+    path: Union[str, Path],
+    kind: str = "model bundle",
+) -> None:
     """Reject a bundle whose recorded epoch differs from the expected one.
 
     A recorded epoch *older* than expected means the bundle predates one
@@ -280,7 +296,7 @@ def _check_epoch(meta: dict, expected_epoch: Optional[int], path: Union[str, Pat
         return
     if recorded != expected_epoch:
         raise ModelStoreError(
-            f"stale model bundle: {path} was saved at cache epoch {recorded!r}, "
+            f"stale {kind}: {path} was saved at cache epoch {recorded!r}, "
             f"this runtime is at epoch {expected_epoch!r}"
         )
 
@@ -289,6 +305,118 @@ def bundle_epoch(path: Union[str, Path]) -> Optional[int]:
     """The cache-generation epoch a bundle was saved under (None when unstamped)."""
     meta, _ = _read_bundle(path)
     return meta.get("epoch")
+
+
+# --------------------------------------------------------------------- #
+# Quarantine-log persistence.
+# --------------------------------------------------------------------- #
+#: Identifies a file as a persisted quarantine log (saved beside the model
+#: bundle so a restarted gateway resumes pending re-identifications).
+QUARANTINE_MAGIC = "iot-sentinel-quarantine-log"
+
+#: Bump on any incompatible change to the quarantine-log layout.
+QUARANTINE_SCHEMA_VERSION = 1
+
+#: Versions this build can still read.
+SUPPORTED_QUARANTINE_SCHEMA_VERSIONS = (1,)
+
+_QUARANTINE_KIND = "quarantine log"
+
+
+def save_quarantine_records(
+    path: Union[str, Path],
+    records: list[dict],
+    capacity: int,
+    epoch: Optional[int] = None,
+    counters: Optional[dict] = None,
+) -> Path:
+    """Persist raw quarantine entries with the store's robustness guarantees.
+
+    ``records`` is a list of dicts with keys ``mac`` (48-bit int),
+    ``vectors`` (the fingerprint's ``(n, 23)`` int64 matrix),
+    ``quarantined_at`` (float) and ``completion_reason`` (str).  The
+    bundle is checksummed, schema-versioned, epoch-stamped and written
+    atomically, exactly like a model bundle -- the higher-level
+    :func:`~repro.identification.lifecycle.save_quarantine_log` wraps
+    this for :class:`~repro.identification.lifecycle.QuarantineLog`.
+    """
+    if capacity <= 0:
+        raise ModelStoreError(f"quarantine capacity must be positive, got {capacity}")
+    blocks = [np.asarray(record["vectors"], dtype=np.int64) for record in records]
+    if blocks:
+        vectors = np.concatenate(blocks, axis=0)
+    else:
+        vectors = np.zeros((0, 0), dtype=np.int64)
+    arrays = {
+        "quarantine_vectors": vectors,
+        "quarantine_lengths": np.array([len(block) for block in blocks], dtype=np.int64),
+        "quarantine_macs": np.array([record["mac"] for record in records], dtype=np.uint64),
+        "quarantine_times": np.array(
+            [record["quarantined_at"] for record in records], dtype=np.float64
+        ),
+    }
+    meta = {
+        "capacity": capacity,
+        "epoch": epoch,
+        "completion_reasons": [record["completion_reason"] for record in records],
+        "counters": dict(counters or {}),
+    }
+    return _write_bundle(
+        path,
+        meta,
+        arrays,
+        magic=QUARANTINE_MAGIC,
+        schema_version=QUARANTINE_SCHEMA_VERSION,
+    )
+
+
+def load_quarantine_records(
+    path: Union[str, Path], expected_epoch: Optional[int] = None
+) -> tuple[dict, list[dict]]:
+    """Reload quarantine entries persisted by :func:`save_quarantine_records`.
+
+    Returns ``(meta, records)`` with ``records`` shaped exactly as the
+    save side took them.  Truncated or bit-flipped files, unsupported
+    schema versions and epoch mismatches all raise
+    :class:`~repro.exceptions.ModelStoreError`.
+    """
+    meta, arrays = _read_bundle(
+        path,
+        magic=QUARANTINE_MAGIC,
+        supported_versions=SUPPORTED_QUARANTINE_SCHEMA_VERSIONS,
+        kind=_QUARANTINE_KIND,
+    )
+    _check_epoch(meta, expected_epoch, path, kind=_QUARANTINE_KIND)
+    try:
+        vectors = arrays["quarantine_vectors"]
+        lengths = arrays["quarantine_lengths"]
+        macs = arrays["quarantine_macs"]
+        times = arrays["quarantine_times"]
+        reasons = meta["completion_reasons"]
+    except KeyError as exc:
+        raise ModelStoreError(f"{_QUARANTINE_KIND} is structurally invalid: {path}") from exc
+    if not (len(lengths) == len(macs) == len(times) == len(reasons)):
+        raise ModelStoreError(
+            f"{_QUARANTINE_KIND} arrays disagree on entry count: {path}"
+        )
+    if int(lengths.sum()) != len(vectors):
+        raise ModelStoreError(
+            f"{_QUARANTINE_KIND} vector block disagrees with recorded lengths: {path}"
+        )
+    records: list[dict] = []
+    offset = 0
+    for mac, length, quarantined_at, reason in zip(macs, lengths, times, reasons):
+        rows = vectors[offset : offset + int(length)]
+        offset += int(length)
+        records.append(
+            {
+                "mac": int(mac),
+                "vectors": np.asarray(rows, dtype=np.int64),
+                "quarantined_at": float(quarantined_at),
+                "completion_reason": reason,
+            }
+        )
+    return meta, records
 
 
 # --------------------------------------------------------------------- #
@@ -372,6 +500,20 @@ def load_identifier(
     instead of quietly serving a bank that is out of sync with the
     runtime's learned device-types.
     """
+    return load_identifier_with_epoch(path, expected_epoch=expected_epoch)[0]
+
+
+def load_identifier_with_epoch(
+    path: Union[str, Path], expected_epoch: Optional[int] = None
+) -> tuple[DeviceTypeIdentifier, Optional[int]]:
+    """:func:`load_identifier` plus the bundle's recorded epoch.
+
+    One read, one checksum pass: the restart path
+    (:meth:`~repro.identification.lifecycle.LifecycleCoordinator.resume`)
+    needs both the identifier and the epoch it was saved under, and a
+    multi-megabyte bundle should not be decompressed and hashed twice
+    for that.
+    """
     meta, arrays = _read_bundle(path)
     _check_epoch(meta, expected_epoch, path)
     try:
@@ -385,9 +527,10 @@ def load_identifier(
         novelty_threshold = meta["novelty_threshold"]
     except (KeyError, TypeError, ModelError) as exc:
         raise ModelStoreError(f"model bundle is structurally invalid: {path}") from exc
-    return DeviceTypeIdentifier(
+    identifier = DeviceTypeIdentifier(
         bank=bank,
         registry=registry,
         discriminator=discriminator,
         novelty_threshold=novelty_threshold,
     )
+    return identifier, meta.get("epoch")

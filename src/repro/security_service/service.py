@@ -76,11 +76,19 @@ class IoTSecurityService:
         identifier: the trained two-stage device-type identifier.
         vulnerability_db: the CVE-like repository consulted per type.
         environment: resolver used to derive vendor-cloud destinations.
+        provisional_types: device-type labels registered at runtime
+            without operator review (the lifecycle autopilot's
+            auto-learned unknown models).  A provisional type has no
+            vulnerability record *because nobody has assessed it yet*,
+            so it is capped below trusted isolation until an operator
+            promotes the label
+            (:meth:`~repro.identification.autopilot.LifecycleAutopilot.promote`).
     """
 
     identifier: DeviceTypeIdentifier
     vulnerability_db: VulnerabilityDatabase = field(default_factory=build_default_database)
     environment: LabEnvironment = field(default_factory=LabEnvironment)
+    provisional_types: set[str] = field(default_factory=set)
     assessments_served: int = 0
 
     def assess_fingerprint(self, fingerprint: Fingerprint) -> SecurityAssessment:
@@ -110,6 +118,10 @@ class IoTSecurityService:
         vulnerabilities: tuple[VulnerabilityRecord, ...],
         result: Optional[IdentificationResult],
     ) -> SecurityAssessment:
+        if level is IsolationLevel.TRUSTED and device_type in self.provisional_types:
+            # No vulnerabilities on record means "nobody has looked yet"
+            # for an auto-learned type, not "audited clean".
+            level = IsolationLevel.RESTRICTED
         allowed: tuple[str, ...] = ()
         if level is IsolationLevel.RESTRICTED:
             allowed = vendor_cloud_destinations(device_type, self.environment)

@@ -21,7 +21,6 @@ and it is worth being precise about which buys what:
 
 from __future__ import annotations
 
-import hashlib
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -30,27 +29,18 @@ from typing import Optional
 from repro.exceptions import SimulationError
 from repro.features.fingerprint import Fingerprint
 from repro.identification.identifier import DeviceTypeIdentifier, IdentificationResult
-from repro.identification.lifecycle import CacheEpoch
+from repro.identification.lifecycle import CacheEpoch, fingerprint_key
 from repro.net.addresses import MACAddress
 from repro.streaming.assembler import ReadyFingerprint
 from repro.streaming.backpressure import BackpressurePolicy, BoundedQueue, Offer
 
-
-def fingerprint_cache_key(fingerprint: Fingerprint) -> bytes:
-    """A content hash of the fingerprint matrix (MAC and label excluded).
-
-    Two devices of the same model performing the same setup produce the
-    same matrix and therefore the same key, which is exactly the sharing
-    the result cache exploits.  The dtype is hashed alongside the shape
-    and the raw bytes: equal-byte matrices of different dtypes (an
-    all-zero int64 vs float64 padding block, say) must not collide onto
-    one cached verdict.
-    """
-    digest = hashlib.sha1()
-    digest.update(str(fingerprint.vectors.shape).encode("ascii"))
-    digest.update(str(fingerprint.vectors.dtype).encode("ascii"))
-    digest.update(fingerprint.vectors.tobytes())
-    return digest.digest()
+#: The result cache's key: a content hash of the fingerprint matrix (MAC
+#: and label excluded).  Canonically defined as
+#: :func:`repro.identification.lifecycle.fingerprint_key` so the
+#: autopilot's unknown-model cluster detection and this cache agree on
+#: what "the same model performing the same setup" means; re-exported
+#: here under its historical streaming-layer name.
+fingerprint_cache_key = fingerprint_key
 
 
 class IdentificationCache:
@@ -64,6 +54,18 @@ class IdentificationCache:
     the lifecycle coordinator invalidate all of them with a single bump --
     stale verdicts become unreachable even if an explicit :meth:`clear`
     never reaches this cache.
+
+    Example:
+        >>> from repro.identification.identifier import IdentificationResult
+        >>> cache = IdentificationCache(capacity=2)
+        >>> cache.put(b"key", IdentificationResult(device_type="Aria",
+        ...                                        matched_types=("Aria",)))
+        >>> cache.get(b"key").device_type
+        'Aria'
+        >>> cache.epoch.bump()  # a device-type was learned: all stale
+        1
+        >>> cache.get(b"key") is None
+        True
     """
 
     def __init__(self, capacity: int = 512, epoch: Optional[CacheEpoch] = None):

@@ -16,6 +16,7 @@ scanning every device on every packet.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
@@ -222,8 +223,15 @@ class GatewayEnforcementSink:
     enforces is also reported to it: unknown devices enter the quarantine
     log (so a later
     :meth:`~repro.identification.lifecycle.LifecycleCoordinator.learn_device_type`
+    -- operator-driven or fired by a
+    :class:`~repro.identification.autopilot.LifecycleAutopilot` trigger --
     can re-identify them and upgrade their strict rules), successful
-    identifications release any quarantine entry for the MAC.
+    identifications release any quarantine entry for the MAC.  The
+    :class:`~repro.identification.autopilot.ReprofileScheduler` flips
+    :attr:`sticky` off for the duration of a steady-state pass (it
+    toggles the attribute directly so any sink exposing ``sticky``
+    works); :meth:`reprofiling` offers the same escape hatch as a
+    context manager for manual operator use.
     """
 
     gateway: SecurityGateway
@@ -232,6 +240,22 @@ class GatewayEnforcementSink:
     lifecycle: Optional[LifecycleCoordinator] = None
     enforced: int = 0
     skipped_downgrades: int = 0
+
+    @contextmanager
+    def reprofiling(self):
+        """Apply every verdict verbatim for the duration of the block.
+
+        The deliberate-re-profiling escape hatch from sticky enforcement:
+        inside the block, an "unknown" verdict on an already-identified
+        device downgrades it (fingerprint drift is acted on) instead of
+        being dropped as steady-state noise.
+        """
+        was_sticky = self.sticky
+        self.sticky = False
+        try:
+            yield self
+        finally:
+            self.sticky = was_sticky
 
     def __call__(self, identified: IdentifiedDevice) -> None:
         if self.sticky and identified.result.is_new_device_type:

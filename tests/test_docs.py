@@ -1,0 +1,55 @@
+"""The docs site must stay internally consistent (nav, links, anchors).
+
+CI additionally runs ``mkdocs build --strict``; this test keeps the
+cheaper, dependency-free checks (``tools/check_docs.py``) in the tier-1
+suite so a broken link never waits for the docs job to be noticed.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_tree_exists():
+    assert (REPO_ROOT / "mkdocs.yml").exists()
+    for page in ("index.md", "architecture.md", "operations.md", "lifecycle.md"):
+        assert (REPO_ROOT / "docs" / page).exists(), page
+
+
+def test_nav_and_links_are_clean():
+    checker = load_checker()
+    assert checker.collect_errors() == []
+
+
+def test_nav_covers_every_docs_page():
+    checker = load_checker()
+    pages = set(checker.nav_pages())
+    on_disk = {
+        str(path.relative_to(REPO_ROOT / "docs"))
+        for path in (REPO_ROOT / "docs").glob("**/*.md")
+    }
+    assert on_disk == pages
+
+
+def test_readme_is_a_quickstart_not_a_manual():
+    # The deep sections moved into docs/; the README stays a quickstart
+    # with pointers.  Guard the slimming so it does not silently regrow.
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/architecture.md" in readme
+    assert "docs/operations.md" in readme
+    assert "docs/lifecycle.md" in readme
+    assert len(readme.splitlines()) < 120

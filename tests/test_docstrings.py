@@ -1,0 +1,47 @@
+"""Docstring examples are executable documentation; they must not rot.
+
+Runs doctest over the public-API modules that carry runnable examples.
+CI mirrors this with ``pytest --doctest-modules`` on the same list, so
+the examples are exercised both in the tier-1 suite and the docs job.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.identification.autopilot
+import repro.identification.lifecycle
+import repro.streaming.dispatcher
+
+DOCTESTED_MODULES = [
+    repro.identification.autopilot,
+    repro.identification.lifecycle,
+    repro.streaming.dispatcher,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCTESTED_MODULES, ids=lambda module: module.__name__
+)
+def test_module_doctests_pass(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} lost its runnable examples"
+    assert result.failed == 0
+
+
+def test_public_api_is_documented():
+    """Every re-exported name on the package root carries a docstring."""
+    import repro
+
+    undocumented = []
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        obj = getattr(repro, name)
+        if isinstance(obj, str):  # UNKNOWN_DEVICE_TYPE, __version__
+            continue
+        if not (getattr(obj, "__doc__", None) or "").strip():
+            undocumented.append(name)
+    assert undocumented == []

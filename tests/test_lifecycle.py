@@ -450,3 +450,151 @@ class TestEndToEnd:
         assert delivered[0].completion_reason == RELEARN_REASON
         assert delivered[0].result.device_type == "Aria"
         assert delivered[0].mac == ready.mac
+
+
+# --------------------------------------------------------------------- #
+# Durable quarantine: persistence round-trips and corruption rejection.
+# --------------------------------------------------------------------- #
+class TestQuarantinePersistence:
+    def fill_log(self, count=3, capacity=8):
+        from repro.identification.lifecycle import QuarantineLog
+
+        log = QuarantineLog(capacity=capacity)
+        for index in range(count):
+            ready = aria_ready(seed=900 + index)
+            log.record(
+                ready.mac, ready.fingerprint, now=10.0 + index, completion_reason="idle"
+            )
+        return log
+
+    def test_round_trip_preserves_entries_order_and_counters(self, tmp_path):
+        from repro.identification.lifecycle import load_quarantine_log, save_quarantine_log
+
+        log = self.fill_log()
+        log.discard(log.macs()[0])
+        path = save_quarantine_log(tmp_path / "quarantine.npz", log, epoch=4)
+        restored = load_quarantine_log(path, expected_epoch=4)
+        assert restored.capacity == log.capacity
+        assert restored.macs() == log.macs()  # insertion order retained
+        assert restored.recorded == log.recorded
+        assert restored.released == log.released
+        for saved, loaded in zip(log.devices(), restored.devices()):
+            assert loaded.mac == saved.mac
+            assert loaded.quarantined_at == saved.quarantined_at
+            assert loaded.completion_reason == saved.completion_reason
+            assert (loaded.fingerprint.vectors == saved.fingerprint.vectors).all()
+
+    def test_empty_log_round_trips(self, tmp_path):
+        from repro.identification.lifecycle import (
+            QuarantineLog,
+            load_quarantine_log,
+            save_quarantine_log,
+        )
+
+        path = save_quarantine_log(tmp_path / "empty.npz", QuarantineLog(capacity=16))
+        restored = load_quarantine_log(path)
+        assert len(restored) == 0
+        assert restored.capacity == 16
+
+    def test_truncated_file_rejected(self, tmp_path):
+        from repro.identification.lifecycle import load_quarantine_log, save_quarantine_log
+
+        path = save_quarantine_log(tmp_path / "quarantine.npz", self.fill_log(), epoch=1)
+        data = path.read_bytes()
+        truncated = tmp_path / "truncated.npz"
+        truncated.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ModelStoreError):
+            load_quarantine_log(truncated)
+
+    def test_version_skew_rejected(self, tmp_path):
+        import json
+
+        import numpy as np
+
+        from repro.identification.lifecycle import load_quarantine_log, save_quarantine_log
+        from repro.identification.model_store import QUARANTINE_SCHEMA_VERSION
+
+        path = save_quarantine_log(tmp_path / "quarantine.npz", self.fill_log())
+        with np.load(path, allow_pickle=False) as archive:
+            contents = {key: archive[key] for key in archive.files}
+        meta = json.loads(bytes(contents.pop("meta")).decode("utf-8"))
+        meta["schema_version"] = QUARANTINE_SCHEMA_VERSION + 1
+        future = tmp_path / "future.npz"
+        encoded = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        with open(future, "wb") as handle:
+            np.savez_compressed(handle, meta=encoded, **contents)
+        with pytest.raises(ModelStoreError, match="schema version"):
+            load_quarantine_log(future)
+
+    def test_model_bundle_is_not_a_quarantine_log(self, tmp_path, partial_identifier):
+        from repro.identification.lifecycle import load_quarantine_log
+        from repro.identification.model_store import save_identifier
+
+        bundle = tmp_path / "model.npz"
+        save_identifier(bundle, partial_identifier)
+        with pytest.raises(ModelStoreError, match="not an IoT SENTINEL quarantine log"):
+            load_quarantine_log(bundle)
+
+    def test_epoch_mismatch_rejected(self, tmp_path):
+        from repro.identification.lifecycle import load_quarantine_log, save_quarantine_log
+
+        path = save_quarantine_log(tmp_path / "quarantine.npz", self.fill_log(), epoch=1)
+        with pytest.raises(ModelStoreError, match="stale quarantine log"):
+            load_quarantine_log(path, expected_epoch=2)
+
+    def test_coordinator_write_through_and_resume(self, partial_identifier, tmp_path):
+        # Every quarantine change is persisted immediately; a restarted
+        # coordinator resumes with the exact pending fleet.
+        coordinator = LifecycleCoordinator(
+            identifier=partial_identifier,
+            store_path=tmp_path / "model.npz",
+            quarantine_path=tmp_path / "quarantine.npz",
+        )
+        coordinator.save_snapshot()
+        ready = aria_ready()
+        unknown = IdentifiedDevice(
+            mac=ready.mac, fingerprint=ready.fingerprint, result=unknown_result()
+        )
+        coordinator.note_identified(unknown, now=5.0)
+        assert (tmp_path / "quarantine.npz").exists()
+
+        resumed = LifecycleCoordinator.resume(
+            tmp_path / "model.npz", tmp_path / "quarantine.npz"
+        )
+        assert resumed.quarantine.macs() == [ready.mac]
+        assert resumed.epoch.generation == 0
+
+        # A successful identification releases the entry -- durably.
+        coordinator.note_identified(
+            IdentifiedDevice(
+                mac=ready.mac, fingerprint=ready.fingerprint, result=known_result()
+            )
+        )
+        resumed_again = LifecycleCoordinator.resume(
+            tmp_path / "model.npz", tmp_path / "quarantine.npz"
+        )
+        assert len(resumed_again.quarantine) == 0
+
+    def test_learn_persists_quarantine_at_new_epoch(
+        self, partial_identifier, aria_training, tmp_path
+    ):
+        from repro.identification.model_store import load_quarantine_records
+
+        coordinator = LifecycleCoordinator(
+            identifier=partial_identifier,
+            store_path=tmp_path / "model.npz",
+            quarantine_path=tmp_path / "quarantine.npz",
+        )
+        ready = aria_ready()
+        coordinator.quarantine.record(ready.mac, ready.fingerprint)
+        report = coordinator.learn_device_type("Aria", aria_training)
+        meta, records = load_quarantine_records(tmp_path / "quarantine.npz")
+        assert meta["epoch"] == report.generation == 1
+        assert records == []  # the fleet was re-identified and released
+
+    def test_quarantine_paths_required(self, partial_identifier):
+        coordinator = LifecycleCoordinator(identifier=partial_identifier)
+        with pytest.raises(LifecycleError):
+            coordinator.save_quarantine()
+        with pytest.raises(LifecycleError):
+            coordinator.load_quarantine()

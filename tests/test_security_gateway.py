@@ -215,3 +215,71 @@ class TestDatapath:
             gateway.device_record(MACAddress(424242))
         assert gateway.connected_device_count >= 1
         assert record in gateway.devices_in_overlay(NetworkOverlay.TRUSTED)
+
+
+class TestLifecycleCoupling:
+    """disconnect_device / rule eviction -> lifecycle coordinator wiring."""
+
+    def _wired(self, gateway, service):
+        from repro.identification.lifecycle import LifecycleCoordinator
+
+        coordinator = LifecycleCoordinator(identifier=service.identifier)
+        gateway.attach_lifecycle(coordinator)
+        return coordinator
+
+    def _quarantined_record(self, gateway, coordinator, seed=814):
+        # MAXGateway is not in the trained bank: it onboards as unknown.
+        record, trace = _onboard(gateway, "MAXGateway", seed=seed)
+        from repro.features.fingerprint import Fingerprint
+
+        coordinator.quarantine.record(
+            record.mac, Fingerprint.from_packets(trace.packets), now=0.0
+        )
+        return record
+
+    def test_disconnect_informs_lifecycle(self, gateway, service):
+        coordinator = self._wired(gateway, service)
+        record = self._quarantined_record(gateway, coordinator)
+        assert record.mac in coordinator.quarantine
+
+        gateway.disconnect_device(record.mac)
+        assert record.mac not in coordinator.quarantine  # no ghost re-identification
+        assert coordinator.disconnects == 1
+
+    def test_stale_rule_eviction_counts_as_departure(self, gateway, service):
+        coordinator = self._wired(gateway, service)
+        record = self._quarantined_record(gateway, coordinator)
+        evicted = gateway.rule_cache.evict_stale(now=1_000_000.0, max_idle_seconds=60.0)
+        assert evicted >= 1
+        assert record.mac not in coordinator.quarantine
+        assert coordinator.disconnects >= 1
+
+    def test_capacity_eviction_is_not_a_departure(self, service):
+        # An LRU rule squeezed out of a full cache may belong to a device
+        # that is still connected; it must not drop quarantine state.
+        from repro.gateway.rule_cache import EnforcementRuleCache
+
+        gateway = SecurityGateway(
+            security_service=service, rule_cache=EnforcementRuleCache(max_entries=1)
+        )
+        coordinator = self._wired(gateway, service)
+        record = self._quarantined_record(gateway, coordinator)
+        _onboard(gateway, "Aria", seed=815)  # second rule: LRU evicts the first
+        assert gateway.rule_cache.lookup(record.mac) is None
+        assert record.mac in coordinator.quarantine  # still pending a learn
+        assert coordinator.disconnects == 0
+
+    def test_unattached_gateway_disconnect_still_works(self, gateway):
+        record, _ = _onboard(gateway, "EdnetCam", seed=816)
+        gateway.disconnect_device(record.mac)  # no lifecycle: no error
+        assert record.mac not in gateway.devices
+
+    def test_attach_lifecycle_chains_existing_evict_hook(self, gateway, service):
+        # A metrics hook installed before attach_lifecycle keeps firing.
+        observed = []
+        gateway.rule_cache.on_evict = lambda mac, reason: observed.append((mac, reason))
+        coordinator = self._wired(gateway, service)
+        record = self._quarantined_record(gateway, coordinator)
+        gateway.rule_cache.evict_stale(now=1_000_000.0, max_idle_seconds=60.0)
+        assert (record.mac, "stale") in observed  # the original hook ran
+        assert record.mac not in coordinator.quarantine  # and so did the wiring

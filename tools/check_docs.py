@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Docs integrity checker: nav completeness and internal link resolution.
+
+A dependency-free stand-in for ``mkdocs build --strict`` that runs
+anywhere the repository does (CI runs both; the test suite runs this).
+Checks:
+
+* every page listed in ``mkdocs.yml``'s nav exists under ``docs/``;
+* every markdown file under ``docs/`` is reachable from the nav;
+* every relative markdown link in ``docs/*.md`` and ``README.md``
+  resolves to an existing file (http/https/mailto links are skipped);
+* a ``file.md#anchor`` link targets a heading that actually exists in
+  the destination page (GitHub-style slugs);
+* every ``examples/...`` or ``benchmarks/...`` path mentioned in the
+  docs refers to a file that exists.
+
+Exit status 0 when clean; 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
+
+#: ``[text](target)`` -- good enough for the hand-written docs here
+#: (no nested brackets, no reference-style links).
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: ``- Title: page.md`` or ``- page.md`` inside the nav block.
+_NAV_ENTRY_RE = re.compile(r"^\s*-\s+(?:[^:\n]+:\s*)?(\S+\.md)\s*$")
+#: Inline code mentioning a repo-relative script, e.g. `examples/foo.py`.
+_SCRIPT_RE = re.compile(r"`((?:examples|benchmarks|tools)/[\w./-]+\.py)`")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def nav_pages(mkdocs_yml: Path = MKDOCS_YML) -> list[str]:
+    """The .md files referenced from the mkdocs nav block."""
+    pages: list[str] = []
+    in_nav = False
+    for line in mkdocs_yml.read_text(encoding="utf-8").splitlines():
+        if re.match(r"^nav\s*:", line):
+            in_nav = True
+            continue
+        if in_nav:
+            if line.strip() and not line.startswith((" ", "\t", "-")):
+                break  # the next top-level key ends the nav block
+            match = _NAV_ENTRY_RE.match(line)
+            if match:
+                pages.append(match.group(1))
+    return pages
+
+
+def heading_slugs(markdown: str) -> set[str]:
+    """GitHub/mkdocs-style anchor slugs of every heading in a page."""
+    slugs = set()
+    for title in _HEADING_RE.findall(markdown):
+        # Strip inline code/links, lowercase, spaces to dashes, drop the rest.
+        text = re.sub(r"[`*_]|\[([^\]]*)\]\([^)]*\)", r"\1", title).strip().lower()
+        slugs.add(re.sub(r"[^\w\- ]", "", text).replace(" ", "-"))
+    return slugs
+
+
+def check_file_links(md_file: Path, errors: list[str]) -> None:
+    content = md_file.read_text(encoding="utf-8")
+    for target in _LINK_RE.findall(content):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        destination = md_file if not path_part else (md_file.parent / path_part)
+        if not destination.exists():
+            errors.append(f"{md_file.relative_to(REPO_ROOT)}: broken link -> {target}")
+            continue
+        if anchor and destination.suffix == ".md":
+            if anchor not in heading_slugs(destination.read_text(encoding="utf-8")):
+                errors.append(
+                    f"{md_file.relative_to(REPO_ROOT)}: broken anchor -> {target}"
+                )
+    for script in _SCRIPT_RE.findall(content):
+        if not (REPO_ROOT / script).exists():
+            errors.append(
+                f"{md_file.relative_to(REPO_ROOT)}: references missing file {script}"
+            )
+
+
+def collect_errors() -> list[str]:
+    errors: list[str] = []
+    if not MKDOCS_YML.exists():
+        return ["mkdocs.yml is missing"]
+    pages = nav_pages()
+    if not pages:
+        errors.append("mkdocs.yml: nav block lists no pages")
+    for page in pages:
+        if not (DOCS_DIR / page).exists():
+            errors.append(f"mkdocs.yml: nav entry {page} does not exist in docs/")
+    for md_file in sorted(DOCS_DIR.glob("**/*.md")):
+        relative = str(md_file.relative_to(DOCS_DIR))
+        if relative not in pages:
+            errors.append(f"docs/{relative}: not reachable from the mkdocs nav")
+    for md_file in [*sorted(DOCS_DIR.glob("**/*.md")), REPO_ROOT / "README.md"]:
+        if md_file.exists():
+            check_file_links(md_file, errors)
+    return errors
+
+
+def main() -> int:
+    errors = collect_errors()
+    for error in errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    if errors:
+        print(f"docs check failed: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print("docs check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
