@@ -41,7 +41,7 @@ from repro.security_service.isolation import IsolationLevel
 from repro.security_service.service import IoTSecurityService
 from repro.streaming import GatewayEnforcementSink, IdentifiedDevice
 
-from benchmarks.conftest import BENCH_QUICK, BENCH_SEED
+from benchmarks.conftest import BENCH_QUICK, BENCH_SEED, make_section_reporter
 
 KNOWN_TYPES = ("Aria", "HueBridge", "EdnetCam", "WeMoSwitch", "TP-LinkPlugHS110", "D-LinkCam")
 LEARNED_TYPE = "HomeMaticPlug"
@@ -51,15 +51,8 @@ TRAINING_RUNS = 8
 #: benchmark: cluster detection must pick the real cluster out of noise.
 NOISE_DEVICES = 4 if BENCH_QUICK else 16
 
-#: Both benchmarks in this file report into one BENCH_relearn.json; each
-#: records its section here and writes the merged document, so the file
-#: is complete whenever both ran and partial (but valid) for a lone run.
-_SECTIONS: dict = {}
-
-
-def _report(bench_report, section: str, payload: dict) -> None:
-    _SECTIONS[section] = payload
-    bench_report("relearn", dict(_SECTIONS))
+#: The benchmarks in this file merge their sections into BENCH_relearn.json.
+_report = make_section_reporter("relearn")
 
 
 def build_quarantined_stack():
@@ -265,5 +258,65 @@ def test_autopilot_trigger_throughput(benchmark, bench_report):
             "devices_per_second": report.devices_per_second,
             "upgraded": len(report.upgraded),
             "triggers_fired": autopilot.triggers_fired,
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# Bit-reproducible relearn: two gateways, one bundle, identical verdicts.
+# --------------------------------------------------------------------- #
+def test_relearn_is_bit_reproducible(benchmark, bench_report):
+    """Two identical stacks learning the same type agree bit-for-bit.
+
+    The epoch-aware multi-gateway story requires the fleet
+    re-identification inside ``learn_device_type`` to be reproducible:
+    the deterministic reference draw (salted with the bumped identifier
+    revision) makes two gateways that learned the same type produce
+    identical upgraded/still-unknown partitions and identical
+    per-device verdict provenance.  Timing is recorded to confirm the
+    deterministic draw adds no relearn-path regression.
+    """
+    first_stack = build_quarantined_stack()
+    second_stack = build_quarantined_stack()
+
+    report_one = benchmark.pedantic(
+        first_stack[2].learn_device_type,
+        args=(LEARNED_TYPE, first_stack[4]),
+        kwargs={"snapshot": False},
+        rounds=1,
+        iterations=1,
+    )
+    report_two = second_stack[2].learn_device_type(
+        LEARNED_TYPE, second_stack[4], snapshot=False
+    )
+
+    assert report_one.upgraded == report_two.upgraded
+    assert report_one.still_unknown == report_two.still_unknown
+    assert report_one.generation == report_two.generation
+
+    # The verdicts themselves (not just the partition) are identical,
+    # including the discrimination provenance.
+    probes = list(first_stack[4])[:8]
+    one = first_stack[0].identify_many(probes)
+    two = second_stack[0].identify_many(probes)
+    for left, right in zip(one, two):
+        assert left.device_type == right.device_type
+        assert left.discrimination_scores == right.discrimination_scores
+
+    print()
+    print("Relearn reproducibility across two identical gateways")
+    print(f"  upgraded                       {len(report_one.upgraded)} (identical partitions)")
+    print(f"  re-identification (gateway 1)  {report_one.identify_seconds * 1000:.1f} ms")
+    print(f"  re-identification (gateway 2)  {report_two.identify_seconds * 1000:.1f} ms")
+
+    _report(
+        bench_report,
+        "deterministic_relearn",
+        {
+            "fleet_size": FLEET_SIZE,
+            "upgraded": len(report_one.upgraded),
+            "partitions_identical": True,
+            "identify_seconds_first": report_one.identify_seconds,
+            "identify_seconds_second": report_two.identify_seconds,
         },
     )

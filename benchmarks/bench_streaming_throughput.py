@@ -19,8 +19,15 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro.devices.catalog import profile_of
 from repro.devices.simulator import SetupTrafficSimulator
+from repro.distance.discrimination import (
+    DETERMINISTIC_SELECTION,
+    RANDOM_SELECTION,
+    EditDistanceDiscriminator,
+)
 from repro.net.addresses import MACAddress
 from repro.streaming import (
     BatchDispatcher,
@@ -31,10 +38,16 @@ from repro.streaming import (
     replay_trace,
 )
 
+from benchmarks.conftest import make_section_reporter
+
 STREAM_TYPES = ("Aria", "HueBridge", "EdnetCam", "WeMoSwitch", "TP-LinkPlugHS110", "D-LinkCam")
 FRESH_DEVICES = 18
 REPLAYS_PER_DUPLICATED_DEVICE = 2
 DUPLICATED_DEVICES = 6
+
+#: The benchmarks in this file merge their sections into
+#: BENCH_streaming_throughput.json.
+_report = make_section_reporter("streaming_throughput")
 
 
 def build_stream(seed: int = 7) -> SimulatedSource:
@@ -127,20 +140,88 @@ def test_streaming_throughput(benchmark, bench_identifier, bench_report):
     # per second even with identification inline.
     assert stats.packets_per_second > 500
 
-    bench_report(
-        "streaming_throughput",
+    _report(
+        bench_report,
+        "stream",
         {
-            "stream": {
-                "devices": total_devices,
-                "packets": stats.packets,
-                "fingerprints": stats.fingerprints,
-                "packets_per_second": stats.packets_per_second,
-                "assemble_seconds": stats.assemble_seconds,
-                "identify_seconds_batched": stats.identify_seconds,
-                "identify_seconds_per_fingerprint_baseline": baseline_seconds,
-                "batches": stats.dispatcher.batches,
-                "mean_batch_size": stats.dispatcher.mean_batch_size,
-                "cache_hit_rate": stats.cache_hit_rate,
-            }
+            "devices": total_devices,
+            "packets": stats.packets,
+            "fingerprints": stats.fingerprints,
+            "packets_per_second": stats.packets_per_second,
+            "assemble_seconds": stats.assemble_seconds,
+            "identify_seconds_batched": stats.identify_seconds,
+            "identify_seconds_per_fingerprint_baseline": baseline_seconds,
+            "batches": stats.dispatcher.batches,
+            "mean_batch_size": stats.dispatcher.mean_batch_size,
+            "cache_hit_rate": stats.cache_hit_rate,
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# Deterministic discrimination: reproducibility + hot-path cost.
+# --------------------------------------------------------------------- #
+def test_deterministic_discrimination_hot_path(benchmark, bench_identifier, bench_report):
+    """The seeded reference draw costs ~one SHA-256 per candidate type.
+
+    Confirms (a) repeated identification of the same stream returns
+    bit-identical verdicts under the deterministic draw and (b) the
+    deterministic draw adds no material hot-path cost over the retired
+    random draw (the timing ratio is trajectory data; only a very
+    generous bound is asserted to stay robust on noisy CI runners).
+    """
+    source = build_stream()
+    _, identified = run_stream(bench_identifier, source)
+    fingerprints = [item.fingerprint for item in identified]
+    references_per_type = bench_identifier.discriminator.references_per_type
+    original_discriminator = bench_identifier.discriminator
+    try:
+        bench_identifier.discriminator = EditDistanceDiscriminator(
+            references_per_type=references_per_type, selection=DETERMINISTIC_SELECTION
+        )
+        start = time.perf_counter()
+        first = benchmark.pedantic(
+            bench_identifier.identify_many, args=(fingerprints,), rounds=1, iterations=1
+        )
+        deterministic_seconds = time.perf_counter() - start
+        second = bench_identifier.identify_many(fingerprints)
+
+        bench_identifier.discriminator = EditDistanceDiscriminator(
+            references_per_type=references_per_type,
+            selection=RANDOM_SELECTION,
+            rng=np.random.default_rng(0),
+        )
+        start = time.perf_counter()
+        bench_identifier.identify_many(fingerprints)
+        random_seconds = time.perf_counter() - start
+    finally:
+        bench_identifier.discriminator = original_discriminator
+
+    # Bit-identical verdicts: type, scores and reference provenance.
+    for one, two in zip(first, second):
+        assert one.device_type == two.device_type
+        assert one.matched_types == two.matched_types
+        assert one.discrimination_scores == two.discrimination_scores
+
+    ratio = deterministic_seconds / random_seconds if random_seconds else 1.0
+    print()
+    print("Deterministic discrimination hot path")
+    print(f"  fingerprints                   {len(fingerprints)}")
+    print(f"  identify (deterministic draw)  {deterministic_seconds * 1000:.1f} ms")
+    print(f"  identify (random draw)         {random_seconds * 1000:.1f} ms")
+    print(f"  deterministic / random         {ratio:.2f}x")
+
+    # No hot-path regression: the seeding cost must stay within noise of
+    # the random draw (generous bound -- shared CI runners are noisy).
+    assert deterministic_seconds <= random_seconds * 2.5 + 0.05
+
+    _report(
+        bench_report,
+        "deterministic_discrimination",
+        {
+            "fingerprints": len(fingerprints),
+            "identify_seconds_deterministic": deterministic_seconds,
+            "identify_seconds_random": random_seconds,
+            "deterministic_over_random_ratio": ratio,
         },
     )

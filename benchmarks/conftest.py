@@ -70,6 +70,23 @@ def write_bench_json(name: str, payload: dict) -> Path:
     return path
 
 
+def make_section_reporter(name: str):
+    """A per-file accumulator for multi-benchmark ``BENCH_<name>.json``.
+
+    Several benchmarks in one file report into one trajectory document;
+    each records its section through the returned callable and the merged
+    document is rewritten, so the file is complete whenever every
+    benchmark ran and partial (but valid) for a lone run.
+    """
+    sections: dict = {}
+
+    def report(bench_report, section: str, payload: dict) -> None:
+        sections[section] = payload
+        bench_report(name, dict(sections))
+
+    return report
+
+
 @pytest.fixture(scope="session")
 def bench_report():
     """The ``BENCH_*.json`` writer, as a fixture for the benchmark files."""

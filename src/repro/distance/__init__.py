@@ -4,11 +4,22 @@ from repro.distance.damerau_levenshtein import (
     damerau_levenshtein,
     normalized_damerau_levenshtein,
 )
-from repro.distance.discrimination import DissimilarityScore, EditDistanceDiscriminator
+from repro.distance.discrimination import (
+    DETERMINISTIC_SELECTION,
+    RANDOM_SELECTION,
+    DissimilarityScore,
+    EditDistanceDiscriminator,
+    selection_seed,
+    selection_seed_from_key,
+)
 
 __all__ = [
     "damerau_levenshtein",
     "normalized_damerau_levenshtein",
     "EditDistanceDiscriminator",
     "DissimilarityScore",
+    "DETERMINISTIC_SELECTION",
+    "RANDOM_SELECTION",
+    "selection_seed",
+    "selection_seed_from_key",
 ]

@@ -18,6 +18,11 @@ from repro.devices.catalog import DEVICE_NAMES, TABLE_III_DEVICES
 from repro.devices.simulator import SetupTrafficSimulator
 from repro.devices.catalog import DEVICE_CATALOG
 from repro.distance.damerau_levenshtein import normalized_damerau_levenshtein
+from repro.distance.discrimination import (
+    DETERMINISTIC_SELECTION,
+    RANDOM_SELECTION,
+    EditDistanceDiscriminator,
+)
 from repro.features.fingerprint import Fingerprint
 from repro.gateway.enforcement import EnforcementRule
 from repro.gateway.security_gateway import SecurityGateway
@@ -567,4 +572,92 @@ def run_ablation(
     )
     result.accuracies["negative ratio 2x"] = small_negative.overall_accuracy
 
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Reference-selection ablation: the paper's random draw vs the deterministic
+# per-fingerprint draw (the bugfix for borderline-verdict instability).
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class SelectionAblationResult:
+    """Random vs deterministic reference selection, per mode.
+
+    Attributes:
+        accuracies: overall identification accuracy (first pass).
+        verdict_stability: fraction of test fingerprints whose verdict
+            (``device_type``) is identical across every repeated
+            identification -- the reproducibility headline.  1.0 means no
+            fingerprint ever flipped.
+        flipped: count of test fingerprints that received more than one
+            distinct verdict across the repeats.
+        repeats: how many times each fingerprint was identified.
+    """
+
+    accuracies: dict[str, float] = field(default_factory=dict)
+    verdict_stability: dict[str, float] = field(default_factory=dict)
+    flipped: dict[str, int] = field(default_factory=dict)
+    repeats: int = 0
+
+
+def run_selection_ablation(
+    dataset: FingerprintDataset,
+    n_splits: int = 5,
+    repeats: int = 5,
+    n_estimators: int = 10,
+    random_state: int = 0,
+) -> SelectionAblationResult:
+    """Ablation: paper-style random reference draw vs deterministic draw.
+
+    One stratified train/test split; a single identifier is trained once
+    and its discriminator swapped between modes, so the classifier stage
+    is held constant and only the reference-selection policy varies.
+    Every test fingerprint is identified ``repeats`` times per mode:
+    accuracy comes from the first pass, stability from comparing all
+    passes.  The deterministic draw must be perfectly stable by
+    construction; the random draw exhibits the borderline-verdict flips
+    that motivated the fix.
+    """
+    labels = dataset.labels
+    splitter = StratifiedKFold(n_splits=n_splits, shuffle=True, random_state=random_state)
+    train_indices, test_indices = next(iter(splitter.split(labels)))
+    registry = dataset.to_registry(train_indices)
+    identifier = DeviceTypeIdentifier.train(
+        registry, n_estimators=n_estimators, random_state=random_state
+    )
+    references_per_type = identifier.discriminator.references_per_type
+    probes = [dataset.fingerprints[int(index)] for index in test_indices]
+
+    result = SelectionAblationResult(repeats=repeats)
+    modes = {
+        "deterministic draw": EditDistanceDiscriminator(
+            references_per_type=references_per_type, selection=DETERMINISTIC_SELECTION
+        ),
+        "random draw (paper)": EditDistanceDiscriminator(
+            references_per_type=references_per_type,
+            selection=RANDOM_SELECTION,
+            rng=np.random.default_rng(random_state),
+        ),
+    }
+    for mode, discriminator in modes.items():
+        identifier.discriminator = discriminator
+        passes = [identifier.identify_many(probes) for _ in range(repeats)]
+        first = [outcome.device_type for outcome in passes[0]]
+        correct = sum(
+            1
+            for probe, predicted in zip(probes, first)
+            if predicted == probe.device_type
+        )
+        flipped = 0
+        for row in range(len(probes)):
+            verdicts = {passes[column][row].device_type for column in range(repeats)}
+            if len(verdicts) > 1:
+                flipped += 1
+        result.accuracies[mode] = correct / len(probes) if probes else 0.0
+        result.verdict_stability[mode] = (
+            (len(probes) - flipped) / len(probes) if probes else 1.0
+        )
+        result.flipped[mode] = flipped
     return result

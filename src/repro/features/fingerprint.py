@@ -10,6 +10,7 @@ exist), which is what the per-device-type Random Forest classifiers consume.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -162,6 +163,38 @@ class Fingerprint:
     def __repr__(self) -> str:
         label = self.device_type or "unlabelled"
         return f"Fingerprint(type={label!r}, packets={self.packet_count})"
+
+
+def fingerprint_key(fingerprint: Fingerprint) -> bytes:
+    """A content hash of the fingerprint matrix (MAC and label excluded).
+
+    Two devices of the same model performing the same setup produce the
+    same matrix and therefore the same key -- the sharing the streaming
+    dispatcher's result cache, the autopilot's unknown-model cluster
+    detection and the discrimination stage's deterministic reference draw
+    all exploit.  The dtype is hashed alongside the shape and the raw
+    bytes: equal-byte matrices of different dtypes (an all-zero int64 vs
+    float64 padding block, say) must not collide onto one key.
+
+    The hash is content-only (SHA-1 over shape/dtype/bytes), so it is
+    stable across processes, interpreter restarts and
+    ``PYTHONHASHSEED`` values -- the property the deterministic
+    discrimination draw relies on.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.features.fingerprint import Fingerprint, FEATURE_COUNT
+        >>> rows = np.zeros((2, FEATURE_COUNT), dtype=np.int64)
+        >>> a = Fingerprint(vectors=rows, device_mac="02:00:00:00:00:01")
+        >>> b = Fingerprint(vectors=rows.copy(), device_mac="02:00:00:00:00:02")
+        >>> fingerprint_key(a) == fingerprint_key(b)  # same model, same setup
+        True
+    """
+    digest = hashlib.sha1()
+    digest.update(str(fingerprint.vectors.shape).encode("ascii"))
+    digest.update(str(fingerprint.vectors.dtype).encode("ascii"))
+    digest.update(fingerprint.vectors.tobytes())
+    return digest.digest()
 
 
 def fingerprint_from_packets(

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Collection, Optional, Sequence, Union
 
 from repro.exceptions import AutopilotError
 from repro.features.fingerprint import Fingerprint
@@ -55,24 +55,50 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
 #: Prefix of provisional labels minted for auto-learned unknown models.
 PROVISIONAL_LABEL_PREFIX = "unknown-model-"
 
+#: Hex digits of the cluster-key digest carried in a provisional label.
+#: Widened from the original 8 (32 bits -- a birthday collision at a few
+#: tens of thousands of models) to 12 (48 bits); an *actual* prefix
+#: collision is additionally disambiguated with a numeric suffix.
+PROVISIONAL_LABEL_DIGEST_HEX = 12
+
 #: ``completion_reason`` carried by verdicts produced by the steady-state
 #: re-profiling pass (vs. ``"relearn"`` from fleet re-identification and
 #: ``"budget"``/``"idle"``/``"flush"`` from the streaming assembler).
 REPROFILE_REASON = "reprofile"
 
 
-def provisional_label(cluster_key: bytes) -> str:
+def provisional_label(cluster_key: bytes, taken: Collection[str] = ()) -> str:
     """The deterministic provisional label for an unseen-model cluster.
 
-    Derived from the cluster's fingerprint content hash, so the same
+    Derived from the cluster's fingerprint content hash, so in the
+    collision-free case (overwhelming at 48 digest bits) the same
     unknown model proposes the same label on every gateway and across
-    restarts.
+    restarts.  ``taken`` carries the labels already in use (known
+    device-types, pending proposals, previously learned labels); when two
+    different models hash-prefix-collide, the later one is disambiguated
+    with a numeric suffix instead of silently merging into the first
+    model's type.  The suffix is assigned in *discovery order*: it is
+    deterministic per gateway, but two gateways that discovered the
+    colliding models in opposite orders mint opposite suffixes -- on an
+    actual collision, operator review (the provisional-label rename path
+    tracked in the ROADMAP) is the cross-gateway reconciliation.
 
     Example:
-        >>> provisional_label(bytes.fromhex("ab12cd34") + bytes(16))
-        'unknown-model-ab12cd34'
+        >>> provisional_label(bytes.fromhex("ab12cd34ef567890") + bytes(12))
+        'unknown-model-ab12cd34ef56'
+        >>> provisional_label(
+        ...     bytes.fromhex("ab12cd34ef56ffff") + bytes(12),
+        ...     taken={"unknown-model-ab12cd34ef56"},
+        ... )
+        'unknown-model-ab12cd34ef56-2'
     """
-    return PROVISIONAL_LABEL_PREFIX + cluster_key.hex()[:8]
+    base = PROVISIONAL_LABEL_PREFIX + cluster_key.hex()[:PROVISIONAL_LABEL_DIGEST_HEX]
+    if base not in taken:
+        return base
+    suffix = 2
+    while f"{base}-{suffix}" in taken:
+        suffix += 1
+    return f"{base}-{suffix}"
 
 
 @dataclass(frozen=True)
@@ -272,7 +298,7 @@ class LifecycleAutopilot:
 
             proposal = LearnProposal(
                 cluster_key=key,
-                label=provisional_label(key),
+                label=provisional_label(key, taken=self._taken_labels()),
                 macs=tuple(entry.mac for entry in members),
                 fingerprints=tuple(entry.fingerprint for entry in members),
                 proposed_at=now,
@@ -347,6 +373,19 @@ class LifecycleAutopilot:
     # ------------------------------------------------------------------ #
     # Internals.
     # ------------------------------------------------------------------ #
+    def _taken_labels(self) -> set[str]:
+        """Labels a freshly minted provisional label must not collide with.
+
+        Known device-types (a hash-prefix collision with an existing type
+        would silently merge two models into one classifier), labels of
+        proposals still awaiting an operator decision, and labels this
+        autopilot has already learned.
+        """
+        taken = set(self.coordinator.identifier.known_device_types)
+        taken.update(proposal.label for proposal in self._pending.values())
+        taken.update(self._learned_members)
+        return taken
+
     def _service(self):
         """The security service to register provisional labels with.
 

@@ -6,8 +6,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-import numpy as np
-
 from repro.distance.discrimination import DissimilarityScore, EditDistanceDiscriminator
 from repro.exceptions import IdentificationError
 from repro.features.fingerprint import Fingerprint
@@ -50,6 +48,22 @@ class IdentificationResult:
     def total_seconds(self) -> float:
         return self.classification_seconds + self.discrimination_seconds
 
+    @property
+    def provenance(self) -> dict[str, tuple[tuple[int, ...], Optional[int]]]:
+        """Audit trail of the edit-distance stage, per candidate type.
+
+        Maps each compared ``device_type`` to ``(reference_indices,
+        selection_seed)``: exactly which reference fingerprints (indices
+        into the registry's per-type list) the dissimilarity score was
+        computed against, and the deterministic draw seed that selected
+        them (``None`` when the whole pool was compared or the paper-style
+        random mode ran).  Empty when the edit-distance stage never ran.
+        """
+        return {
+            score.device_type: (score.reference_indices, score.selection_seed)
+            for score in self.discrimination_scores
+        }
+
 
 @dataclass
 class DeviceTypeIdentifier:
@@ -73,7 +87,11 @@ class DeviceTypeIdentifier:
             (unknown) device-type.  This protects against per-type
             classifiers accepting wildly out-of-distribution fingerprints.
             ``None`` disables the guard (the paper's exact behaviour).
-        revision: bumped by every :meth:`add_device_type`.  Any component
+        revision: bumped by every :meth:`add_device_type`.  Doubles as the
+            *salt* of the discriminator's deterministic reference draw:
+            identical fingerprints meet identical references until the
+            registry actually changes, at which point every draw is
+            re-randomised at once.  Any component
             caching identification results must treat a revision change as
             invalidating every cached verdict; the
             :class:`~repro.identification.lifecycle.LifecycleCoordinator`
@@ -104,10 +122,10 @@ class DeviceTypeIdentifier:
             random_state=random_state,
         )
         bank.train_from_registry(registry)
-        discriminator = EditDistanceDiscriminator(
-            references_per_type=references_per_type,
-            rng=np.random.default_rng(random_state),
-        )
+        # Deterministic reference selection: the draw is seeded per
+        # fingerprint from its content hash (plus this identifier's
+        # revision), so no trained-in generator state exists to seed here.
+        discriminator = EditDistanceDiscriminator(references_per_type=references_per_type)
         return cls(
             bank=bank,
             registry=registry,
@@ -176,11 +194,18 @@ class DeviceTypeIdentifier:
             )
         if len(matched) == 1:
             start = time.perf_counter()
-            best = self._apply_novelty_guard(fingerprint, matched[0])
+            best, guard_score = self._apply_novelty_guard(fingerprint, matched[0])
             discrimination_seconds = time.perf_counter() - start
             return IdentificationResult(
                 device_type=best,
                 matched_types=tuple(matched),
+                # The guard's score is surfaced so single-match borderline
+                # verdicts carry the same audit provenance (reference
+                # indices + draw seed) as multi-match ones; ablation mode
+                # (use_discrimination=False) keeps the scores empty.
+                discrimination_scores=(guard_score,)
+                if use_discrimination and guard_score is not None
+                else (),
                 classification_seconds=classification_seconds,
                 discrimination_seconds=discrimination_seconds,
             )
@@ -198,7 +223,9 @@ class DeviceTypeIdentifier:
         candidates = {
             device_type: self.registry.fingerprints_of(device_type) for device_type in matched
         }
-        best, discrimination_scores = self.discriminator.discriminate(fingerprint, candidates)
+        best, discrimination_scores = self.discriminator.discriminate(
+            fingerprint, candidates, salt=self.revision
+        )
         if self.novelty_threshold is not None:
             winning = discrimination_scores[0]
             if winning.comparisons and winning.score / winning.comparisons > self.novelty_threshold:
@@ -212,16 +239,28 @@ class DeviceTypeIdentifier:
             discrimination_seconds=discrimination_seconds,
         )
 
-    def _apply_novelty_guard(self, fingerprint: Fingerprint, device_type: str) -> str:
-        """Reject a single-classifier match whose fingerprints look nothing alike."""
+    def _apply_novelty_guard(
+        self, fingerprint: Fingerprint, device_type: str
+    ) -> tuple[str, Optional[DissimilarityScore]]:
+        """Reject a single-classifier match whose fingerprints look nothing alike.
+
+        Returns the (possibly downgraded) verdict plus the guard's
+        dissimilarity score for provenance (``None`` when the guard is
+        disabled).  The score's reference draw is salted with
+        :attr:`revision`, so a borderline single-match verdict is exactly
+        as reproducible as a discriminated one.
+        """
         if self.novelty_threshold is None:
-            return device_type
+            return device_type, None
         score = self.discriminator.score_type(
-            fingerprint, device_type, self.registry.fingerprints_of(device_type)
+            fingerprint,
+            device_type,
+            self.registry.fingerprints_of(device_type),
+            salt=self.revision,
         )
         if score.comparisons and score.score / score.comparisons > self.novelty_threshold:
-            return UNKNOWN_DEVICE_TYPE
-        return device_type
+            return UNKNOWN_DEVICE_TYPE, score
+        return device_type, score
 
     def identify_many(
         self, fingerprints: Sequence[Fingerprint], use_discrimination: bool = True

@@ -50,7 +50,6 @@ Two durability/coupling layers round the subsystem out:
 
 from __future__ import annotations
 
-import hashlib
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -58,7 +57,14 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 from repro.exceptions import LifecycleError
+
+# fingerprint_key is canonically defined in repro.features.fingerprint (the
+# discrimination stage seeds its deterministic reference draw from it, and
+# repro.distance must not import repro.identification); it is re-exported
+# here under its historical lifecycle-layer name for the dispatcher cache
+# and the autopilot's cluster detection.
 from repro.features.fingerprint import Fingerprint
+from repro.features.fingerprint import fingerprint_key as fingerprint_key
 from repro.identification.identifier import DeviceTypeIdentifier
 from repro.identification.model_store import (
     load_identifier,
@@ -76,32 +82,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
 #: re-identification (vs. ``"budget"``/``"idle"``/``"flush"`` from the
 #: streaming assembler).
 RELEARN_REASON = "relearn"
-
-
-def fingerprint_key(fingerprint: Fingerprint) -> bytes:
-    """A content hash of the fingerprint matrix (MAC and label excluded).
-
-    Two devices of the same model performing the same setup produce the
-    same matrix and therefore the same key -- the sharing both the
-    dispatcher's result cache and the autopilot's unknown-model cluster
-    detection exploit.  The dtype is hashed alongside the shape and the
-    raw bytes: equal-byte matrices of different dtypes (an all-zero int64
-    vs float64 padding block, say) must not collide onto one key.
-
-    Example:
-        >>> import numpy as np
-        >>> from repro.features.fingerprint import Fingerprint, FEATURE_COUNT
-        >>> rows = np.zeros((2, FEATURE_COUNT), dtype=np.int64)
-        >>> a = Fingerprint(vectors=rows, device_mac="02:00:00:00:00:01")
-        >>> b = Fingerprint(vectors=rows.copy(), device_mac="02:00:00:00:00:02")
-        >>> fingerprint_key(a) == fingerprint_key(b)  # same model, same setup
-        True
-    """
-    digest = hashlib.sha1()
-    digest.update(str(fingerprint.vectors.shape).encode("ascii"))
-    digest.update(str(fingerprint.vectors.dtype).encode("ascii"))
-    digest.update(fingerprint.vectors.tobytes())
-    return digest.digest()
 
 
 class CacheEpoch:
@@ -447,6 +427,13 @@ class LifecycleCoordinator:
 
         Devices the grown bank still rejects remain quarantined for the
         next registration.
+
+        Reproducibility: the registration bumps the identifier
+        ``revision``, which salts the discrimination stage's
+        deterministic reference draw.  The fleet re-identification is
+        therefore *bit-reproducible* -- two gateways that learn the same
+        type over the same bundle produce identical upgraded/still-unknown
+        partitions, regardless of their prior traffic histories.
         """
         self.identifier.add_device_type(device_type, fingerprints)
         generation = self.epoch.bump()

@@ -28,9 +28,14 @@ Robustness guarantees:
   misinterpreting bytes;
 * every data array is checksummed; truncated or bit-flipped files fail
   loudly at load time, not at serve time;
-* the discriminator's random-generator state is captured exactly, so a
-  reloaded identifier reproduces the original's verdict stream
-  bit-for-bit;
+* verdict reproducibility is *structural*, not stateful: since schema v3
+  the discrimination stage selects its references deterministically from
+  each fingerprint's content hash (plus the persisted identifier
+  ``revision``), so a reloaded identifier returns bit-identical verdicts
+  with **no** generator state in the bundle.  Legacy v1/v2 bundles, which
+  captured the discriminator's rng state, still load -- the stored state
+  is discarded in favour of the deterministic draw (see
+  :func:`legacy_fallback_counts`);
 * a bundle may be stamped with the cache-generation *epoch* it was saved
   under (see :mod:`repro.identification.lifecycle`); loading with
   ``expected_epoch`` rejects bundles from any other epoch, so a runtime
@@ -43,6 +48,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 import zipfile
 import zlib
 from pathlib import Path
@@ -63,11 +69,16 @@ STORE_MAGIC = "iot-sentinel-model-store"
 
 #: Bump on any incompatible change to the bundle layout.
 #: Version 2 added the optional cache-generation ``epoch`` stamp.
-SCHEMA_VERSION = 2
+#: Version 3 dropped the discriminator rng-state capture (reference
+#: selection is deterministic per fingerprint) and added the identifier
+#: ``revision`` (the discrimination draw salt) to the metadata.
+SCHEMA_VERSION = 3
 
 #: Versions this build can still read.  Version 1 bundles predate the
 #: epoch stamp (an additive change); they load with ``epoch=None``.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: Version 1/2 bundles carry a discriminator rng state that v3 runtimes
+#: discard -- see :func:`legacy_fallback_counts`.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 
 # --------------------------------------------------------------------- #
@@ -90,10 +101,48 @@ def _rng_state(rng: Optional[np.random.Generator]) -> Optional[dict]:
     return rng.bit_generator.state
 
 
-def _restore_rng(state: Optional[dict]) -> np.random.Generator:
+#: Lifetime counters of legacy-bundle loads that could not restore exact
+#: state and fell back to documented defaults.  Keys:
+#:
+#: * ``"bank_rng"`` -- the bundle recorded no bank generator state, so a
+#:   fresh *nondeterministic* generator was created.  Verdicts are
+#:   unaffected (serving never draws from the bank rng); future
+#:   ``train_type`` negative subsampling on the loaded bank is not
+#:   reproducible.
+#: * ``"discriminator_rng"`` -- either a v1/v2 bundle carried a captured
+#:   discriminator generator state that a deterministic-selection runtime
+#:   discarded (verdicts are reproducible but may *differ* from the
+#:   retired random-draw stream), or a ``selection="random"`` bundle was
+#:   missing its state and got a fresh nondeterministic generator.
+_LEGACY_FALLBACKS = {"bank_rng": 0, "discriminator_rng": 0}
+
+
+def legacy_fallback_counts() -> dict[str, int]:
+    """A snapshot of the legacy-bundle fallback counters (see above)."""
+    return dict(_LEGACY_FALLBACKS)
+
+
+def _restore_rng(state: Optional[dict], context: str = "bank") -> np.random.Generator:
+    """Restore a captured generator state, or *explicitly* fall back.
+
+    A ``None`` state historically returned a fresh nondeterministic
+    generator in silence; the fallback is now documented, warned about and
+    counted (``legacy_fallback_counts()[f"{context}_rng"]``) so an
+    operator auditing reproducibility can tell exactly which loads of
+    which subsystem degraded.
+    """
+    if state is None:
+        _LEGACY_FALLBACKS[f"{context}_rng"] = _LEGACY_FALLBACKS.get(f"{context}_rng", 0) + 1
+        warnings.warn(
+            f"legacy model bundle recorded no {context} rng state; "
+            "falling back to a fresh nondeterministic generator "
+            f"(future draws from the {context} generator are not reproducible)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return np.random.default_rng()
     rng = np.random.default_rng()
-    if state is not None:
-        rng.bit_generator.state = state
+    rng.bit_generator.state = state
     return rng
 
 
@@ -189,7 +238,7 @@ def _rebuild_bank(meta: dict, arrays: dict[str, np.ndarray]) -> ClassifierBank:
         n_jobs=meta.get("n_jobs"),
         compile_models=meta.get("compile_models", True),
     )
-    bank._rng = _restore_rng(meta.get("rng_state"))
+    bank._rng = _restore_rng(meta.get("rng_state"), context="bank")
     for index, record in enumerate(meta["classifiers"]):
         prefix = f"bank{index}_"
         packed = {
@@ -465,26 +514,35 @@ def save_identifier(
     """Persist a fully trained two-stage identifier.
 
     Captures the bank (compiled forests), the registry, the discriminator
-    configuration *including its exact random-generator state*, and the
-    novelty threshold, so the reloaded identifier continues the original's
-    verdict stream exactly.  ``epoch`` stamps the bundle with the cache
-    generation it belongs to (see
+    configuration, the identifier ``revision`` (the salt of the
+    deterministic reference draw) and the novelty threshold, so the
+    reloaded identifier returns bit-identical verdicts -- with no
+    generator state in the bundle (schema v3) for the default
+    deterministic selection.  An ablation identifier running the
+    paper-style ``selection="random"`` draw *does* keep its generator
+    state captured, so its (deliberately history-dependent) verdict
+    stream also continues exactly after a reload.  ``epoch`` stamps the
+    bundle with the cache generation it belongs to (see
     :class:`~repro.identification.lifecycle.LifecycleCoordinator`).
     """
     bank_meta, arrays = _bank_payload(identifier.bank)
     registry_records, registry_arrays = _registry_arrays(identifier.registry)
     arrays.update(registry_arrays)
+    discriminator_meta = {
+        "references_per_type": identifier.discriminator.references_per_type,
+        "selection": identifier.discriminator.selection,
+    }
+    if not identifier.discriminator.is_deterministic:
+        discriminator_meta["rng_state"] = _rng_state(identifier.discriminator.rng)
     meta = {
         "bank": bank_meta,
         "registry": {
             "fixed_packet_count": identifier.registry.fixed_packet_count,
             "fingerprints": registry_records,
         },
-        "discriminator": {
-            "references_per_type": identifier.discriminator.references_per_type,
-            "rng_state": _rng_state(identifier.discriminator.rng),
-        },
+        "discriminator": discriminator_meta,
         "novelty_threshold": identifier.novelty_threshold,
+        "revision": identifier.revision,
         "epoch": epoch,
     }
     return _write_bundle(path, meta, arrays)
@@ -520,11 +578,41 @@ def load_identifier_with_epoch(
         bank = _rebuild_bank(meta["bank"], arrays)
         registry = _rebuild_registry(meta["registry"], arrays)
         discriminator_meta = meta["discriminator"]
-        discriminator = EditDistanceDiscriminator(
-            references_per_type=discriminator_meta["references_per_type"],
-            rng=_restore_rng(discriminator_meta.get("rng_state")),
-        )
+        selection = discriminator_meta.get("selection", "deterministic")
+        if selection == "random":
+            # An ablation identifier: the shared generator *is* the
+            # semantics, so its captured state is restored exactly (a
+            # random-mode bundle missing the state falls back loudly via
+            # _restore_rng's counted warning).
+            discriminator = EditDistanceDiscriminator(
+                references_per_type=discriminator_meta["references_per_type"],
+                selection=selection,
+                rng=_restore_rng(
+                    discriminator_meta.get("rng_state"), context="discriminator"
+                ),
+            )
+        else:
+            if discriminator_meta.get("rng_state") is not None:
+                # A v1/v2 bundle: the discriminator's generator state was
+                # captured to replay the old random reference draw.  The
+                # draw is deterministic per fingerprint now, so the state
+                # is discarded -- explicitly: the reloaded identifier's
+                # verdicts are reproducible but may differ from the
+                # retired random stream on borderline fingerprints.
+                _LEGACY_FALLBACKS["discriminator_rng"] += 1
+                warnings.warn(
+                    f"legacy model bundle (schema v{meta.get('schema_version')}) "
+                    "captured a discriminator rng state; discarding it in favour "
+                    "of the deterministic per-fingerprint reference draw",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            discriminator = EditDistanceDiscriminator(
+                references_per_type=discriminator_meta["references_per_type"],
+                selection=selection,
+            )
         novelty_threshold = meta["novelty_threshold"]
+        revision = int(meta.get("revision", 0))
     except (KeyError, TypeError, ModelError) as exc:
         raise ModelStoreError(f"model bundle is structurally invalid: {path}") from exc
     identifier = DeviceTypeIdentifier(
@@ -532,5 +620,6 @@ def load_identifier_with_epoch(
         registry=registry,
         discriminator=discriminator,
         novelty_threshold=novelty_threshold,
+        revision=revision,
     )
     return identifier, meta.get("epoch")

@@ -27,19 +27,26 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.exceptions import SimulationError
-from repro.features.fingerprint import Fingerprint
+from repro.features.fingerprint import Fingerprint, fingerprint_key
 from repro.identification.identifier import DeviceTypeIdentifier, IdentificationResult
-from repro.identification.lifecycle import CacheEpoch, fingerprint_key
+from repro.identification.lifecycle import CacheEpoch
 from repro.net.addresses import MACAddress
 from repro.streaming.assembler import ReadyFingerprint
 from repro.streaming.backpressure import BackpressurePolicy, BoundedQueue, Offer
 
 #: The result cache's key: a content hash of the fingerprint matrix (MAC
 #: and label excluded).  Canonically defined as
-#: :func:`repro.identification.lifecycle.fingerprint_key` so the
-#: autopilot's unknown-model cluster detection and this cache agree on
-#: what "the same model performing the same setup" means; re-exported
-#: here under its historical streaming-layer name.
+#: :func:`repro.features.fingerprint.fingerprint_key` so the autopilot's
+#: unknown-model cluster detection, the discrimination stage's
+#: deterministic reference draw and this cache all agree on what "the
+#: same model performing the same setup" means; re-exported here under
+#: its historical streaming-layer name.
+#:
+#: Because the discrimination stage draws its references from this same
+#: content hash, a cached verdict is not merely *plausibly* fresh -- for
+#: an unchanged identifier revision it is provably equal to what
+#: re-identifying the fingerprint would return (asserted by the
+#: streaming test suite).
 fingerprint_cache_key = fingerprint_key
 
 

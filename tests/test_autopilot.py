@@ -297,6 +297,60 @@ class TestProposals:
         assert provisional_label(key) == provisional_label(key)
         assert provisional_label(key).startswith(PROVISIONAL_LABEL_PREFIX)
 
+
+class TestProvisionalLabelCollisions:
+    def test_digest_widened_to_twelve_hex(self):
+        key = bytes(range(20))
+        assert provisional_label(key) == PROVISIONAL_LABEL_PREFIX + key.hex()[:12]
+
+    def test_collision_disambiguated_with_numeric_suffix(self):
+        key_a = bytes.fromhex("ab12cd34ef56") + bytes(14)
+        key_b = bytes.fromhex("ab12cd34ef56") + bytes([1]) * 14
+        label_a = provisional_label(key_a)
+        assert provisional_label(key_b, taken={label_a}) == label_a + "-2"
+        assert provisional_label(key_b, taken={label_a, label_a + "-2"}) == label_a + "-3"
+        # A non-colliding key is unaffected by taken labels.
+        other = bytes.fromhex("0011223344556677") + bytes(12)
+        assert provisional_label(other, taken={label_a}) == (
+            PROVISIONAL_LABEL_PREFIX + "001122334455"
+        )
+
+    def test_autopilot_forced_collision_mints_distinct_labels(self, identifier):
+        """Regression: two *different* models whose cluster keys share a
+        label prefix must not be merged into one provisional type."""
+        from repro.features.fingerprint import fingerprint_key
+
+        def colliding_key(fingerprint: Fingerprint) -> bytes:
+            # Force every cluster key to share its first 6 bytes (the 12
+            # label hex digits) while remaining distinct beyond them --
+            # the hash-prefix collision the ROADMAP warned about.
+            return b"\xab" * 6 + fingerprint_key(fingerprint)[6:]
+
+        coordinator = LifecycleCoordinator(identifier=identifier)
+        autopilot = LifecycleAutopilot(
+            coordinator,
+            policy=TriggerPolicy(min_cluster_size=2),
+            cluster_key=colliding_key,
+        )
+        for index in range(2):
+            mac = cluster_mac(index + 1)
+            coordinator.quarantine.record(mac, cluster_fingerprint(mac=mac))
+        for index in range(2):
+            mac = cluster_mac(index + 10)
+            trace = SetupTrafficSimulator(seed=99).simulate(
+                DEVICE_CATALOG["SmarterCoffee"], device_mac=mac
+            )
+            coordinator.quarantine.record(mac, Fingerprint.from_packets(trace.packets))
+
+        decisions = autopilot.poll(now=100.0)
+        learned = [decision for decision in decisions if decision.action == "learned"]
+        assert len(learned) == 2
+        labels = [decision.proposal.label for decision in learned]
+        assert labels[0] == PROVISIONAL_LABEL_PREFIX + "abababababab"
+        assert labels[1] == labels[0] + "-2"
+        # Both minted labels really exist as distinct classifiers.
+        assert set(labels) <= set(identifier.known_device_types)
+
     def test_auto_learned_type_capped_below_trusted_until_promoted(
         self, identifier, tmp_path
     ):

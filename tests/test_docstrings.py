@@ -11,11 +11,13 @@ import doctest
 
 import pytest
 
+import repro.features.fingerprint
 import repro.identification.autopilot
 import repro.identification.lifecycle
 import repro.streaming.dispatcher
 
 DOCTESTED_MODULES = [
+    repro.features.fingerprint,
     repro.identification.autopilot,
     repro.identification.lifecycle,
     repro.streaming.dispatcher,

@@ -10,11 +10,24 @@ from repro.features.fingerprint import Fingerprint
 from repro.identification.model_store import (
     SCHEMA_VERSION,
     STORE_MAGIC,
+    legacy_fallback_counts,
     load_bank,
     load_identifier,
     save_bank,
     save_identifier,
 )
+
+
+def rewrite_bundle(source, target, mutate):
+    """Clone a bundle with its (unchecksummed) JSON metadata mutated."""
+    with np.load(source, allow_pickle=False) as archive:
+        contents = {key: archive[key] for key in archive.files}
+    meta = json.loads(bytes(contents.pop("meta")).decode("utf-8"))
+    mutate(meta)
+    encoded = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    with open(target, "wb") as handle:
+        np.savez_compressed(handle, meta=encoded, **contents)
+    return target
 
 
 @pytest.fixture()
@@ -83,6 +96,108 @@ class TestIdentifierRoundTrip:
         ]
         loaded.add_device_type("BrandNewDevice", renamed)
         assert "BrandNewDevice" in loaded.bank.device_types
+
+
+class TestSchemaV3:
+    def test_v3_bundle_has_no_discriminator_rng_state(
+        self, trained_identifier, bundle_path
+    ):
+        save_identifier(bundle_path, trained_identifier)
+        with np.load(bundle_path, allow_pickle=False) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        assert meta["schema_version"] == SCHEMA_VERSION == 3
+        assert "rng_state" not in meta["discriminator"]
+        assert meta["discriminator"]["selection"] == "deterministic"
+        assert meta["revision"] == trained_identifier.revision
+
+    def test_legacy_v2_bundle_loads_with_explicit_migration(
+        self, trained_identifier, bundle_path, tmp_path
+    ):
+        """A v1/v2 bundle's captured discriminator rng state is discarded
+        loudly (warning + counter), never silently."""
+        save_identifier(bundle_path, trained_identifier)
+        legacy = tmp_path / "legacy.npz"
+
+        def downgrade(meta):
+            meta["schema_version"] = 2
+            meta.pop("revision")
+            meta["discriminator"].pop("selection")
+            meta["discriminator"]["rng_state"] = np.random.default_rng(0).bit_generator.state
+
+        rewrite_bundle(bundle_path, legacy, downgrade)
+        before = legacy_fallback_counts()
+        with pytest.warns(RuntimeWarning, match="discriminator rng state"):
+            loaded = load_identifier(legacy)
+        after = legacy_fallback_counts()
+        assert after["discriminator_rng"] == before["discriminator_rng"] + 1
+        assert loaded.revision == 0
+        assert loaded.discriminator.is_deterministic
+        assert loaded.bank.device_types == trained_identifier.bank.device_types
+
+    def test_missing_bank_rng_state_falls_back_loudly(
+        self, trained_identifier, bundle_path, tmp_path
+    ):
+        """_restore_rng's None path: documented fallback, warned and counted."""
+        save_identifier(bundle_path, trained_identifier)
+        hollow = tmp_path / "no-bank-rng.npz"
+
+        def drop_bank_rng(meta):
+            meta["bank"]["rng_state"] = None
+
+        rewrite_bundle(bundle_path, hollow, drop_bank_rng)
+        before = legacy_fallback_counts()
+        with pytest.warns(RuntimeWarning, match="nondeterministic generator"):
+            loaded = load_identifier(hollow)
+        after = legacy_fallback_counts()
+        assert after["bank_rng"] == before["bank_rng"] + 1
+        assert loaded.bank.device_types == trained_identifier.bank.device_types
+
+    def test_random_mode_identifier_keeps_its_generator_state(
+        self, small_dataset, bundle_path
+    ):
+        """An ablation identifier (selection="random") round-trips its
+        shared generator exactly: the reloaded identifier continues the
+        original's history-dependent verdict stream."""
+        from repro.distance.discrimination import (
+            RANDOM_SELECTION,
+            EditDistanceDiscriminator,
+        )
+        from repro.identification.identifier import DeviceTypeIdentifier
+
+        identifier = DeviceTypeIdentifier.train(
+            small_dataset.to_registry(), n_estimators=5, random_state=0
+        )
+        identifier.discriminator = EditDistanceDiscriminator(
+            selection=RANDOM_SELECTION, rng=np.random.default_rng(1234)
+        )
+        # Advance the generator: the captured state must be the *current*
+        # one, not the seed.
+        identifier.identify_many(small_dataset.fingerprints[:6])
+        state_at_save = identifier.discriminator.rng.bit_generator.state
+
+        save_identifier(bundle_path, identifier)
+        before = legacy_fallback_counts()
+        loaded = load_identifier(bundle_path)
+        assert legacy_fallback_counts() == before  # exact restore, no fallback
+        assert not loaded.discriminator.is_deterministic
+        assert loaded.discriminator.rng.bit_generator.state == state_at_save
+
+        probes = small_dataset.fingerprints[6:18]
+        original = identifier.identify_many(probes)
+        reloaded = loaded.identify_many(probes)
+        for first, second in zip(original, reloaded):
+            assert first.device_type == second.device_type
+            assert first.discrimination_scores == second.discrimination_scores
+
+    def test_fresh_v3_load_emits_no_fallback(self, trained_identifier, bundle_path):
+        save_identifier(bundle_path, trained_identifier)
+        before = legacy_fallback_counts()
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            load_identifier(bundle_path)
+        assert legacy_fallback_counts() == before
 
 
 class TestBankRoundTrip:

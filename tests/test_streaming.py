@@ -359,6 +359,32 @@ class TestBatchDispatcher:
         cache.clear()
         assert len(cache) == 0
 
+    def test_cached_verdict_equals_recomputed_verdict(
+        self, trained_identifier, simulator
+    ):
+        # The deterministic reference draw makes this *provable*, not just
+        # likely: for an unchanged identifier revision, a cache hit equals
+        # what re-identifying the same fingerprint returns bit-for-bit --
+        # device type, matched types, scores and reference provenance.
+        cache = IdentificationCache()
+        dispatcher = BatchDispatcher(trained_identifier, max_batch=1, cache=cache)
+        verified_hits = 0
+        for profile in ("Aria", "EdnetCam", "SmarterCoffee", "iKettle2"):
+            trace = simulator.simulate(DEVICE_CATALOG[profile])
+            first = dispatcher.submit(ready_from_trace(trace))
+            assert len(first) == 1
+            clone = replay_trace(trace, make_device_mac(97), time_offset=50.0)
+            second = dispatcher.submit(ready_from_trace(clone, mac=make_device_mac(97)))
+            if not second or not second[0].from_cache:
+                continue  # unknown verdicts are never cached
+            cached = second[0].result
+            recomputed = trained_identifier.identify(second[0].fingerprint)
+            assert cached.device_type == recomputed.device_type
+            assert cached.matched_types == recomputed.matched_types
+            assert cached.discrimination_scores == recomputed.discrimination_scores
+            verified_hits += 1
+        assert verified_hits > 0  # the equality claim was actually exercised
+
     def test_drain_serves_results_cached_while_queued(self, trained_identifier, simulator):
         # A fingerprint queued as a miss whose model gets cached before its
         # batch runs is served from the cache instead of re-classified.
