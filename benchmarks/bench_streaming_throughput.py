@@ -29,6 +29,7 @@ from repro.distance.discrimination import (
     EditDistanceDiscriminator,
 )
 from repro.net.addresses import MACAddress
+from repro.obs import Observability, VerdictLedger, replay_ledger
 from repro.streaming import (
     BatchDispatcher,
     IdentificationCache,
@@ -69,7 +70,7 @@ def build_stream(seed: int = 7) -> SimulatedSource:
     return SimulatedSource(traces=traces)
 
 
-def run_stream(identifier, source: SimulatedSource):
+def run_stream(identifier, source: SimulatedSource, observability=None):
     dispatcher = BatchDispatcher(
         identifier,
         max_batch=8,
@@ -80,6 +81,7 @@ def run_stream(identifier, source: SimulatedSource):
         source=source,
         dispatcher=dispatcher,
         assembler=ShardedFingerprintAssembler(shards=8),
+        observability=observability,
     )
     identified = []
     pipeline.on_identified = identified.append
@@ -155,6 +157,7 @@ def test_streaming_throughput(benchmark, bench_identifier, bench_report):
             "mean_batch_size": stats.dispatcher.mean_batch_size,
             "cache_hit_rate": stats.cache_hit_rate,
         },
+        identifier=bench_identifier,
     )
 
 
@@ -224,4 +227,73 @@ def test_deterministic_discrimination_hot_path(benchmark, bench_identifier, benc
             "identify_seconds_random": random_seconds,
             "deterministic_over_random_ratio": ratio,
         },
+        identifier=bench_identifier,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Observability overhead: the ledger + metrics must be near-free.
+# --------------------------------------------------------------------- #
+def test_observability_overhead(benchmark, bench_identifier, bench_report, tmp_path):
+    """A fully wired hub (ledger included) stays within 1.1x of disabled.
+
+    The hot path pays one ``is None`` test per packet-stage call, one
+    histogram observe per identify batch, and one ``os.write`` per
+    *verdict* (tens per stream, not per packet) -- so wall-clock with
+    observability enabled must track the disabled baseline.  The 1.1x
+    bound carries a small absolute floor to stay robust on noisy CI
+    runners where a sub-second run's jitter exceeds 10%.
+    """
+    run_stream(bench_identifier, build_stream())  # warmup: caches, JIT-ish paths
+
+    start = time.perf_counter()
+    base_stats, base_identified = run_stream(bench_identifier, build_stream())
+    base_wall = time.perf_counter() - start
+
+    hub = Observability(ledger=VerdictLedger(tmp_path / "ledger.ndjson"))
+    start = time.perf_counter()
+    obs_stats, obs_identified = benchmark.pedantic(
+        run_stream,
+        kwargs={
+            "identifier": bench_identifier,
+            "source": build_stream(),
+            "observability": hub,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    obs_wall = time.perf_counter() - start
+    hub.ledger.close()
+
+    ratio = obs_wall / base_wall if base_wall else 1.0
+    print()
+    print("Observability overhead")
+    print(f"  wall (observability off)       {base_wall * 1000:.1f} ms")
+    print(f"  wall (ledger + metrics on)     {obs_wall * 1000:.1f} ms")
+    print(f"  overhead ratio                 {ratio:.2f}x")
+
+    # Identical work was done, every verdict landed in the ledger, and
+    # the metrics surface saw the batches the dispatcher ran.
+    assert len(obs_identified) == len(base_identified)
+    replay = replay_ledger(tmp_path / "ledger.ndjson")
+    verdicts = [record for record in replay.records if record.kind == "verdict"]
+    assert len(verdicts) == len(obs_identified)
+    snapshot = hub.snapshot()
+    assert snapshot["dispatcher.identify_batch_seconds.count"] == obs_stats.dispatcher.batches
+
+    # The acceptance bound: observability must be near-free.
+    assert obs_wall <= base_wall * 1.1 + 0.05
+
+    _report(
+        bench_report,
+        "observability_overhead",
+        {
+            "wall_seconds_disabled": base_wall,
+            "wall_seconds_enabled": obs_wall,
+            "overhead_ratio": ratio,
+            "ledger_records": len(replay.records),
+            "verdict_records": len(verdicts),
+        },
+        identifier=bench_identifier,
+        cache_epoch=0,
     )

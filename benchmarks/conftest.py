@@ -31,6 +31,7 @@ import platform
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.datasets.builder import generate_fingerprint_dataset
@@ -56,6 +57,8 @@ def write_bench_json(name: str, payload: dict) -> Path:
         "benchmark": name,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
         "quick_mode": BENCH_QUICK,
         "config": {
             "runs_per_type": BENCH_RUNS_PER_TYPE,
@@ -77,11 +80,32 @@ def make_section_reporter(name: str):
     each records its section through the returned callable and the merged
     document is rewritten, so the file is complete whenever every
     benchmark ran and partial (but valid) for a lone run.
+
+    Each section is stamped with ``run_metadata`` (python/numpy version,
+    machine) so a trajectory point can be attributed to its toolchain;
+    pass ``identifier=`` and/or ``cache_epoch=`` to additionally record
+    the identifier revision and cache generation the numbers were
+    measured under -- the same stamps the evidence ledger carries.
     """
     sections: dict = {}
 
-    def report(bench_report, section: str, payload: dict) -> None:
-        sections[section] = payload
+    def report(
+        bench_report,
+        section: str,
+        payload: dict,
+        identifier=None,
+        cache_epoch=None,
+    ) -> None:
+        metadata = {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        }
+        if identifier is not None:
+            metadata["identifier_revision"] = identifier.revision
+        if cache_epoch is not None:
+            metadata["cache_epoch"] = cache_epoch
+        sections[section] = {**payload, "run_metadata": metadata}
         bench_report(name, dict(sections))
 
     return report

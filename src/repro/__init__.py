@@ -27,6 +27,9 @@ The package is organised in layers that mirror the paper's system design:
   the IoT Security Service with its vulnerability repository.
 * :mod:`repro.simulation` -- simulated clock, latency and resource models
   used by the enforcement evaluation.
+* :mod:`repro.obs` -- the observability surface: an append-only,
+  schema-versioned evidence ledger of every verdict and lifecycle event,
+  and a unified metrics registry behind one ``snapshot()``.
 * :mod:`repro.eval` -- experiment runners that regenerate every table and
   figure of the paper's evaluation section.
 
@@ -64,6 +67,13 @@ from repro.identification.model_store import (
     save_identifier,
 )
 from repro.identification.registry import FingerprintRegistry
+from repro.obs import (
+    EvidenceRecord,
+    MetricsRegistry,
+    Observability,
+    VerdictLedger,
+    replay_ledger,
+)
 from repro.security_service.service import IoTSecurityService, SecurityAssessment
 from repro.streaming import (
     BatchDispatcher,
@@ -102,6 +112,11 @@ __all__ = [
     "save_bank",
     "save_identifier",
     "save_quarantine_log",
+    "EvidenceRecord",
+    "MetricsRegistry",
+    "Observability",
+    "VerdictLedger",
+    "replay_ledger",
     "IoTSecurityService",
     "SecurityAssessment",
     "BatchDispatcher",

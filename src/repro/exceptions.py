@@ -59,3 +59,11 @@ class SdnError(ReproError):
 
 class SimulationError(ReproError):
     """Raised for invalid simulation configuration."""
+
+
+class ObservabilityError(ReproError):
+    """Raised for invalid metrics-registry or observability-hub usage."""
+
+
+class LedgerError(ObservabilityError):
+    """Raised when an evidence ledger is malformed, corrupt or inconsistent."""

@@ -50,6 +50,7 @@ from repro.identification.lifecycle import (
 from repro.net.addresses import MACAddress
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.obs.hub import Observability
     from repro.streaming.dispatcher import IdentifiedDevice
 
 #: Prefix of provisional labels minted for auto-learned unknown models.
@@ -214,6 +215,11 @@ class LifecycleAutopilot:
             into same-model clusters; defaults to
             :func:`~repro.identification.lifecycle.fingerprint_key` (the
             dispatcher cache's key -- identical setups, identical key).
+        observability: optional hub; defaults to the coordinator's so a
+            wired lifecycle automatically covers its autopilot.  When
+            attached, trigger counters become snapshot sources and every
+            promotion lands in the evidence ledger (learns are recorded
+            by the coordinator itself).
     """
 
     def __init__(
@@ -223,12 +229,18 @@ class LifecycleAutopilot:
         confirm: Optional[Callable[[LearnProposal], Union[str, bool, None]]] = None,
         security_service=None,
         cluster_key: Callable[[Fingerprint], bytes] = fingerprint_key,
+        observability: Optional["Observability"] = None,
     ):
         self.coordinator = coordinator
         self.policy = policy if policy is not None else TriggerPolicy()
         self.confirm = confirm
         self.security_service = security_service
         self.cluster_key = cluster_key
+        self.observability = (
+            observability if observability is not None else coordinator.observability
+        )
+        if self.observability is not None:
+            self.observability.register_autopilot(self)
         self.triggers_fired = 0
         self.learned = 0
         self.rejected = 0
@@ -368,6 +380,13 @@ class LifecycleAutopilot:
                 if mac in gateway.devices:
                     gateway.apply_assessment(mac, service.assess_device_type(label))
                     upgraded += 1
+        if self.observability is not None:
+            self.observability.record_promotion(
+                label=label,
+                upgraded=upgraded,
+                revision=self.coordinator.identifier.revision,
+                epoch=self.coordinator.epoch.generation,
+            )
         return upgraded
 
     # ------------------------------------------------------------------ #

@@ -74,8 +74,14 @@ from repro.identification.model_store import (
     save_quarantine_records,
 )
 from repro.net.addresses import MACAddress
+from repro.obs.evidence import (
+    QUARANTINE_DISCARDED,
+    QUARANTINE_RECORDED,
+    QUARANTINE_RELEASED,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
+    from repro.obs.hub import Observability
     from repro.streaming.dispatcher import IdentificationCache, IdentifiedDevice
 
 #: ``completion_reason`` carried by verdicts produced by fleet
@@ -309,6 +315,9 @@ class LifecycleCoordinator:
             :meth:`resume` with no lost devices.
         use_discrimination: forwarded to ``identify_many`` during fleet
             re-identification.
+        observability: optional hub; when attached, every quarantine
+            transition and type registration lands in the evidence ledger
+            and the coordinator's counters become snapshot sources.
     """
 
     identifier: DeviceTypeIdentifier
@@ -318,10 +327,37 @@ class LifecycleCoordinator:
     store_path: Optional[Union[str, Path]] = None
     quarantine_path: Optional[Union[str, Path]] = None
     use_discrimination: bool = True
+    observability: Optional["Observability"] = None
     relearns: int = 0
     disconnects: int = 0
     _caches: list = field(default_factory=list, repr=False)
     _disconnect_listeners: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.observability is not None:
+            self.observability.register_lifecycle(self)
+
+    def _record_quarantine_transition(
+        self,
+        mac: MACAddress,
+        transition: str,
+        now: float = 0.0,
+        fingerprint: Optional[Fingerprint] = None,
+        completion_reason: str = "",
+    ) -> None:
+        if self.observability is None:
+            return
+        self.observability.record_quarantine(
+            mac=str(mac),
+            transition=transition,
+            revision=self.identifier.revision,
+            epoch=self.epoch.generation,
+            stream_time=now,
+            fingerprint_key_hex=fingerprint_key(fingerprint).hex()
+            if fingerprint is not None
+            else None,
+            completion_reason=completion_reason,
+        )
 
     # ------------------------------------------------------------------ #
     # Cache registration.
@@ -371,9 +407,19 @@ class LifecycleCoordinator:
                 now=now,
                 completion_reason=identified.completion_reason,
             )
+            self._record_quarantine_transition(
+                identified.mac,
+                QUARANTINE_RECORDED,
+                now=now,
+                fingerprint=identified.fingerprint,
+                completion_reason=identified.completion_reason,
+            )
             self._persist_quarantine()
             return True
         if self.quarantine.discard(identified.mac):
+            self._record_quarantine_transition(
+                identified.mac, QUARANTINE_RELEASED, now=now
+            )
             self._persist_quarantine()
         return False
 
@@ -394,6 +440,7 @@ class LifecycleCoordinator:
         self.disconnects += 1
         present = self.quarantine.discard(mac)
         if present:
+            self._record_quarantine_transition(mac, QUARANTINE_DISCARDED)
             self._persist_quarantine()
         for listener in self._disconnect_listeners:
             listener(mac)
@@ -478,7 +525,7 @@ class LifecycleCoordinator:
             snapshot_path = self.save_snapshot()
         self._persist_quarantine()
         self.relearns += 1
-        return RelearnReport(
+        report = RelearnReport(
             device_type=device_type,
             generation=generation,
             quarantined=len(fleet),
@@ -487,6 +534,9 @@ class LifecycleCoordinator:
             identify_seconds=identify_seconds,
             snapshot_path=snapshot_path,
         )
+        if self.observability is not None:
+            self.observability.record_learn(report, revision=self.identifier.revision)
+        return report
 
     # ------------------------------------------------------------------ #
     # Epoch-aware persistence.

@@ -1,0 +1,61 @@
+"""Observability: evidence ledger + unified metrics surface.
+
+See :mod:`repro.obs.evidence` (schema), :mod:`repro.obs.ledger`
+(append-only NDJSON sink + validating replay), :mod:`repro.obs.metrics`
+(counters / gauges / histograms behind one ``snapshot()``) and
+:mod:`repro.obs.hub` (the :class:`Observability` object the serving
+path is wired through).
+"""
+
+from repro.obs.evidence import (
+    EVIDENCE_KINDS,
+    EVIDENCE_SCHEMA_VERSION,
+    KIND_ENFORCEMENT,
+    KIND_LEARN,
+    KIND_PROMOTION,
+    KIND_QUARANTINE,
+    KIND_VERDICT,
+    QUARANTINE_DISCARDED,
+    QUARANTINE_RECORDED,
+    QUARANTINE_RELEASED,
+    UNASSIGNED_SEQUENCE,
+    EvidenceRecord,
+    decode_line,
+    encode_line,
+)
+from repro.obs.hub import Observability
+from repro.obs.ledger import LedgerReplay, VerdictLedger, ledger_files, replay_ledger
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "EVIDENCE_KINDS",
+    "EVIDENCE_SCHEMA_VERSION",
+    "KIND_ENFORCEMENT",
+    "KIND_LEARN",
+    "KIND_PROMOTION",
+    "KIND_QUARANTINE",
+    "KIND_VERDICT",
+    "UNASSIGNED_SEQUENCE",
+    "EvidenceRecord",
+    "decode_line",
+    "encode_line",
+    "QUARANTINE_DISCARDED",
+    "QUARANTINE_RECORDED",
+    "QUARANTINE_RELEASED",
+    "Observability",
+    "LedgerReplay",
+    "VerdictLedger",
+    "ledger_files",
+    "replay_ledger",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

@@ -1,0 +1,382 @@
+"""The observability hub: one object the serving path reports through.
+
+:class:`Observability` bundles a :class:`~repro.obs.metrics.MetricsRegistry`
+with an optional :class:`~repro.obs.ledger.VerdictLedger` and knows how to
+wire itself into every verdict-producing subsystem.  Components accept the
+hub as an optional constructor argument and (a) register their existing
+counters as pull-model metric *sources* and (b) report durable facts --
+verdicts, enforcement changes, quarantine transitions, learns, promotions
+-- as ledger records.  With no hub attached, nothing changes: every call
+site guards on ``observability is not None`` and the hot path pays one
+``is None`` test.
+
+The hub is deliberately the *only* module that knows both worlds: the
+evidence schema never imports serving-path types, and the serving path
+never builds evidence records by hand.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Optional
+
+from repro.features.fingerprint import fingerprint_key
+from repro.identification.model_store import legacy_fallback_counts
+from repro.obs.evidence import (
+    EVIDENCE_KINDS,
+    KIND_ENFORCEMENT,
+    KIND_LEARN,
+    KIND_PROMOTION,
+    KIND_QUARANTINE,
+    KIND_VERDICT,
+    EvidenceRecord,
+)
+from repro.obs.evidence import (
+    QUARANTINE_DISCARDED as QUARANTINE_DISCARDED,
+)
+from repro.obs.evidence import (
+    QUARANTINE_RECORDED as QUARANTINE_RECORDED,
+)
+from repro.obs.evidence import (
+    QUARANTINE_RELEASED as QUARANTINE_RELEASED,
+)
+from repro.obs.ledger import VerdictLedger
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.identification.autopilot import LifecycleAutopilot
+    from repro.identification.lifecycle import LifecycleCoordinator, RelearnReport
+    from repro.streaming.dispatcher import BatchDispatcher, IdentifiedDevice
+    from repro.streaming.pipeline import GatewayEnforcementSink, StreamingPipeline
+
+
+class Observability:
+    """Metrics registry + evidence ledger behind one object.
+
+    Attributes:
+        metrics: the registry every wired subsystem reports through.
+        ledger: optional durable evidence sink; ``None`` keeps metrics
+            only (no disk I/O anywhere on the serving path).
+
+    Example:
+        >>> hub = Observability()
+        >>> sorted(k for k in hub.snapshot() if k.startswith("ledger."))[:2]
+        ['ledger.enforcement_records', 'ledger.learn_records']
+    """
+
+    def __init__(
+        self,
+        ledger: Optional[VerdictLedger] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.ledger = ledger
+        # Pre-created so the snapshot's key set is stable from record
+        # zero (the determinism suite compares snapshots byte for byte).
+        self._kind_counters = {
+            kind: self.metrics.counter(f"ledger.{kind}_records") for kind in EVIDENCE_KINDS
+        }
+        self._identify_batch_seconds = self.metrics.histogram(
+            "dispatcher.identify_batch_seconds"
+        )
+        self._assembler_flush_seconds = self.metrics.histogram(
+            "pipeline.assembler_flush_seconds"
+        )
+        # Legacy-bundle fallbacks are process-global (see model_store);
+        # surfaced here so a reproducibility audit reads one snapshot.
+        self.metrics.register_source("model_store", legacy_fallback_counts)
+
+    # ------------------------------------------------------------------ #
+    # The one read API.
+    # ------------------------------------------------------------------ #
+    def snapshot(self, include_timings: bool = True) -> dict:
+        """Every wired metric, flat, sorted, JSON-serialisable."""
+        return self.metrics.snapshot(include_timings=include_timings)
+
+    def snapshot_json(self, include_timings: bool = True) -> str:
+        """The snapshot as canonical JSON (sorted keys, stable bytes)."""
+        return json.dumps(
+            self.snapshot(include_timings=include_timings), sort_keys=True, indent=2
+        )
+
+    # ------------------------------------------------------------------ #
+    # Timing instruments (hot path: one histogram observe, no alloc).
+    # ------------------------------------------------------------------ #
+    def observe_identify_batch(self, seconds: float, batch_size: int) -> None:
+        """One dispatcher identify call: per-batch latency."""
+        del batch_size  # the denominator lives in dispatcher.batches
+        self._identify_batch_seconds.observe(seconds)
+
+    def observe_assembler_flush(self, seconds: float) -> None:
+        """One end-of-stream assembler flush."""
+        self._assembler_flush_seconds.observe(seconds)
+
+    # ------------------------------------------------------------------ #
+    # Source wiring (pull model; registration is idempotent per prefix).
+    # ------------------------------------------------------------------ #
+    def register_dispatcher(self, dispatcher: "BatchDispatcher") -> None:
+        """Absorb the dispatcher's counters, its queue's and its cache's."""
+        stats = dispatcher.stats
+        queue_stats = dispatcher.queue.stats
+
+        def dispatcher_source():
+            return {
+                "submitted": stats.submitted,
+                "dropped": stats.dropped,
+                "batches": stats.batches,
+                "batched": stats.batched,
+                "identified": stats.identified,
+                "identify_seconds": stats.identify_seconds,
+                "last_batch_seconds": stats.last_batch_seconds,
+                "largest_batch": stats.largest_batch,
+                "linger_flushes": stats.linger_flushes,
+            }
+
+        def queue_source():
+            return {
+                "offered": queue_stats.offered,
+                "accepted": queue_stats.accepted,
+                "dropped": queue_stats.dropped,
+                "blocked": queue_stats.blocked,
+                "high_watermark": queue_stats.high_watermark,
+                "depth": len(dispatcher.queue),
+                "capacity": dispatcher.queue.capacity,
+            }
+
+        self.metrics.register_source("dispatcher", dispatcher_source)
+        self.metrics.register_source("dispatcher.queue", queue_source)
+        cache = dispatcher.cache
+        if cache is not None:
+
+            def cache_source():
+                return {
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "stale_rejections": cache.stale_rejections,
+                    "size": len(cache),
+                    "capacity": cache.capacity,
+                    "epoch_generation": cache.epoch.generation,
+                }
+
+            self.metrics.register_source("identification_cache", cache_source)
+
+    def register_pipeline(self, pipeline: "StreamingPipeline") -> None:
+        """Absorb the assembler's counters and the dispatcher's (chained)."""
+        stats = pipeline.assembler.stats
+
+        def assembler_source():
+            return {
+                "packets_observed": stats.packets_observed,
+                "fingerprints_emitted": stats.fingerprints_emitted,
+                "budget_emissions": stats.budget_emissions,
+                "idle_emissions": stats.idle_emissions,
+                "flush_emissions": stats.flush_emissions,
+                "min_signal_drops": stats.min_signal_drops,
+            }
+
+        self.metrics.register_source("assembler", assembler_source)
+        self.register_dispatcher(pipeline.dispatcher)
+
+    def register_sink(self, sink: "GatewayEnforcementSink") -> None:
+        """Absorb the enforcement sink's counters and the rule cache's."""
+
+        def sink_source():
+            return {
+                "enforced": sink.enforced,
+                "skipped_downgrades": sink.skipped_downgrades,
+                "sticky": sink.sticky,
+            }
+
+        rule_cache = sink.gateway.rule_cache
+
+        def rule_cache_source():
+            return {
+                "lookups": rule_cache.lookups,
+                "hits": rule_cache.hits,
+                "insertions": rule_cache.insertions,
+                "replacements": rule_cache.replacements,
+                "evictions": rule_cache.evictions,
+                "size": len(rule_cache),
+            }
+
+        self.metrics.register_source("enforcement_sink", sink_source)
+        self.metrics.register_source("rule_cache", rule_cache_source)
+
+    def register_lifecycle(self, coordinator: "LifecycleCoordinator") -> None:
+        """Absorb the quarantine log, epoch and coordinator counters."""
+
+        def lifecycle_source():
+            return {
+                "relearns": coordinator.relearns,
+                "disconnects": coordinator.disconnects,
+                "registered_caches": len(coordinator.registered_caches),
+            }
+
+        def quarantine_source():
+            log = coordinator.quarantine  # re-read: learns may replace it
+            return {
+                "recorded": log.recorded,
+                "evicted": log.evicted,
+                "released": log.released,
+                "size": len(log),
+                "capacity": log.capacity,
+            }
+
+        def epoch_source():
+            return {
+                "generation": coordinator.epoch.generation,
+                "invalidations": coordinator.epoch.invalidations,
+            }
+
+        self.metrics.register_source("lifecycle", lifecycle_source)
+        self.metrics.register_source("quarantine", quarantine_source)
+        self.metrics.register_source("cache_epoch", epoch_source)
+
+    def register_autopilot(self, autopilot: "LifecycleAutopilot") -> None:
+        """Absorb the autopilot's trigger counters."""
+
+        def autopilot_source():
+            return {
+                "triggers_fired": autopilot.triggers_fired,
+                "learned": autopilot.learned,
+                "rejected": autopilot.rejected,
+                "cancelled": autopilot.cancelled,
+                "pending": len(autopilot.pending),
+            }
+
+        self.metrics.register_source("autopilot", autopilot_source)
+
+    # ------------------------------------------------------------------ #
+    # Evidence records (the durable half).
+    # ------------------------------------------------------------------ #
+    def _emit(self, record: EvidenceRecord) -> Optional[EvidenceRecord]:
+        self._kind_counters[record.kind].inc()
+        if self.ledger is not None:
+            return self.ledger.append(record)
+        return None
+
+    def record_verdict(
+        self,
+        identified: "IdentifiedDevice",
+        revision: int,
+        epoch: Optional[int],
+        stream_time: float,
+    ) -> None:
+        """One identification leaving the pipeline, provenance included."""
+        result = identified.result
+        provenance = {
+            device_type: {
+                "reference_indices": list(indices),
+                "selection_seed": seed,
+            }
+            for device_type, (indices, seed) in result.provenance.items()
+        }
+        self._emit(
+            EvidenceRecord(
+                kind=KIND_VERDICT,
+                stream_time=stream_time,
+                mac=str(identified.mac),
+                fingerprint_key=fingerprint_key(identified.fingerprint).hex(),
+                verdict=result.device_type,
+                matched_types=tuple(result.matched_types),
+                provenance=provenance,
+                identifier_revision=revision,
+                cache_epoch=epoch,
+                from_cache=identified.from_cache,
+                completion_reason=identified.completion_reason,
+            )
+        )
+
+    def record_enforcement(
+        self,
+        mac: str,
+        device_type: str,
+        action: str,
+        revision: Optional[int],
+        epoch: Optional[int],
+        stream_time: float,
+        fingerprint_key_hex: Optional[str] = None,
+    ) -> None:
+        """A gateway rule installed or replaced for one device."""
+        self._emit(
+            EvidenceRecord(
+                kind=KIND_ENFORCEMENT,
+                stream_time=stream_time,
+                mac=mac,
+                fingerprint_key=fingerprint_key_hex,
+                verdict=device_type,
+                enforcement_action=action,
+                identifier_revision=revision,
+                cache_epoch=epoch,
+            )
+        )
+
+    def record_quarantine(
+        self,
+        mac: str,
+        transition: str,
+        revision: Optional[int],
+        epoch: Optional[int],
+        stream_time: float,
+        fingerprint_key_hex: Optional[str] = None,
+        completion_reason: str = "",
+    ) -> None:
+        """An unknown device parked (``recorded``), ``released`` by a
+        successful identification, or ``discarded`` on departure."""
+        self._emit(
+            EvidenceRecord(
+                kind=KIND_QUARANTINE,
+                stream_time=stream_time,
+                mac=mac,
+                fingerprint_key=fingerprint_key_hex,
+                identifier_revision=revision,
+                cache_epoch=epoch,
+                completion_reason=completion_reason,
+                detail={"transition": transition},
+            )
+        )
+
+    def record_learn(
+        self,
+        report: "RelearnReport",
+        revision: int,
+        stream_time: float = 0.0,
+    ) -> None:
+        """A runtime type registration and its fleet re-identification."""
+        self._emit(
+            EvidenceRecord(
+                kind=KIND_LEARN,
+                stream_time=stream_time,
+                verdict=report.device_type,
+                identifier_revision=revision,
+                cache_epoch=report.generation,
+                detail={
+                    "quarantined": report.quarantined,
+                    "upgraded": [str(mac) for mac in report.upgraded],
+                    "still_unknown": [str(mac) for mac in report.still_unknown],
+                    "snapshot_path": str(report.snapshot_path)
+                    if report.snapshot_path is not None
+                    else None,
+                },
+            )
+        )
+
+    def record_promotion(
+        self,
+        label: str,
+        upgraded: int,
+        revision: Optional[int],
+        epoch: Optional[int],
+        stream_time: float = 0.0,
+    ) -> None:
+        """A provisional label cleared (and its fleet re-assessed)."""
+        self._emit(
+            EvidenceRecord(
+                kind=KIND_PROMOTION,
+                stream_time=stream_time,
+                verdict=label,
+                identifier_revision=revision,
+                cache_epoch=epoch,
+                detail={"upgraded": upgraded},
+            )
+        )

@@ -1,0 +1,231 @@
+"""A lightweight metrics surface: counters, gauges, bounded histograms.
+
+The serving path already counts everything that matters -- cache hits,
+stale rejections, queue watermarks, quarantine churn -- but as ad-hoc
+attributes scattered across half a dozen subsystems, each with its own
+spelling and no single place to read them.  This module is the one
+surface: a :class:`MetricsRegistry` that owns *instruments* (counters,
+gauges and bounded latency histograms updated on the hot path with zero
+per-observation allocation) and *sources* (pull-model callables that
+expose the counters subsystems already keep, at snapshot time, with zero
+hot-path cost at all).
+
+Design rules, all in service of the determinism suite:
+
+* ``snapshot()`` returns one flat, sorted, JSON-serialisable dict --
+  stable key order, so two identically-driven gateways produce
+  byte-identical snapshot JSON;
+* ratios (hit rates) are **derived in** ``snapshot()`` from the raw
+  counters, never stored -- a stored ratio goes stale and double-rounds;
+* every wall-clock-derived metric carries ``seconds`` in its name;
+  ``snapshot(include_timings=False)`` drops them, leaving exactly the
+  deterministic counters (what the byte-identical comparison runs over).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+from repro.exceptions import ObservabilityError
+
+Scalar = Union[int, float, str, bool]
+
+#: Default histogram bucket upper bounds (seconds): 100 us .. 2.5 s, the
+#: range the dispatcher's identify path and the assembler flush live in.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+
+class Counter:
+    """A monotonically increasing integer instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def export_into(self, flat: dict[str, Scalar]) -> None:
+        flat[self.name] = self.value
+
+
+class Gauge:
+    """A point-in-time value instrument (can go up and down)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def export_into(self, flat: dict[str, Scalar]) -> None:
+        flat[self.name] = self.value
+
+
+class Histogram:
+    """A bounded histogram with zero per-observation allocation.
+
+    Bucket upper bounds are fixed at construction; :meth:`observe` is a
+    binary search over a tuple plus three scalar updates -- no dict,
+    list or object allocation on the hot path.  Values above the largest
+    bound land in the implicit overflow bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        if not buckets:
+            raise ObservabilityError(f"histogram {name} needs at least one bucket bound")
+        bounds = tuple(buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ObservabilityError(
+                f"histogram {name} bucket bounds must be strictly increasing"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self.total = 0.0
+        self.count = 0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+        if value > self.max:
+            self.max = value
+
+    def export_into(self, flat: dict[str, Scalar]) -> None:
+        flat[f"{self.name}.count"] = self.count
+        flat[f"{self.name}.sum"] = self.total
+        flat[f"{self.name}.max"] = self.max
+        for bound, count in zip(self.bounds, self.counts):
+            flat[f"{self.name}.le_{bound:g}"] = count
+        flat[f"{self.name}.le_inf"] = self.counts[-1]
+
+
+class MetricsRegistry:
+    """Instruments plus pull-model sources behind one ``snapshot()``.
+
+    Example:
+        >>> registry = MetricsRegistry()
+        >>> registry.counter("demo.hits").inc(3)
+        >>> registry.counter("demo.misses").inc(1)
+        >>> snapshot = registry.snapshot()
+        >>> snapshot["demo.hits"], snapshot["demo.hit_rate"]
+        (3, 0.75)
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._sources: dict[str, Callable[[], Mapping[str, Scalar]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Instruments (push model, hot-path safe).
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        return self._instrument(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._instrument(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        if name in self._instruments:
+            return self._instrument(name, Histogram)
+        instrument = Histogram(name, buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS)
+        self._instruments[name] = instrument
+        return instrument
+
+    def _instrument(self, name, kind):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as {type(existing).__name__}"
+                )
+            return existing
+        instrument = kind(name)
+        self._instruments[name] = instrument
+        return instrument
+
+    # ------------------------------------------------------------------ #
+    # Sources (pull model: subsystems keep their own counters).
+    # ------------------------------------------------------------------ #
+    def register_source(
+        self, prefix: str, collect: Callable[[], Mapping[str, Scalar]]
+    ) -> None:
+        """Register a callable polled at snapshot time.
+
+        ``collect()`` must return a flat mapping of scalar values; each
+        key lands in the snapshot as ``<prefix>.<key>``.  Re-registering
+        a prefix replaces the source (a rebuilt pipeline supersedes the
+        old one's view).
+        """
+        if not callable(collect):
+            raise ObservabilityError(f"source {prefix!r} must be callable")
+        self._sources[prefix] = collect
+
+    @property
+    def sources(self) -> tuple[str, ...]:
+        return tuple(sorted(self._sources))
+
+    # ------------------------------------------------------------------ #
+    # The one read API.
+    # ------------------------------------------------------------------ #
+    def snapshot(self, include_timings: bool = True) -> dict[str, Scalar]:
+        """Every metric, flat, sorted, JSON-serialisable.
+
+        Ratios are derived here from the raw counters: any ``<base>.hits``
+        with a sibling ``<base>.lookups`` (or ``<base>.misses``) yields a
+        ``<base>.hit_rate``.  With ``include_timings=False`` every key
+        containing ``seconds`` is dropped -- what remains is fully
+        deterministic for identically-driven pipelines (asserted by the
+        determinism suite).
+        """
+        flat: dict[str, Scalar] = {}
+        for prefix in sorted(self._sources):
+            for key, value in self._sources[prefix]().items():
+                if value is not None and not isinstance(value, (int, float, str, bool)):
+                    raise ObservabilityError(
+                        f"source {prefix!r} produced non-scalar {key}={value!r}"
+                    )
+                flat[f"{prefix}.{key}"] = value
+        for name in sorted(self._instruments):
+            self._instruments[name].export_into(flat)
+        for key in [k for k in flat if k.endswith(".hits")]:
+            base = key[: -len(".hits")]
+            denominator = flat.get(f"{base}.lookups")
+            if denominator is None:
+                misses = flat.get(f"{base}.misses")
+                if misses is None:
+                    continue
+                denominator = flat[key] + misses
+            flat[f"{base}.hit_rate"] = flat[key] / denominator if denominator else 0.0
+        if not include_timings:
+            flat = {k: v for k, v in flat.items() if "seconds" not in k}
+        return dict(sorted(flat.items()))

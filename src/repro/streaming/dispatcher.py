@@ -24,7 +24,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.exceptions import SimulationError
 from repro.features.fingerprint import Fingerprint, fingerprint_key
@@ -33,6 +33,9 @@ from repro.identification.lifecycle import CacheEpoch
 from repro.net.addresses import MACAddress
 from repro.streaming.assembler import ReadyFingerprint
 from repro.streaming.backpressure import BackpressurePolicy, BoundedQueue, Offer
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.obs.hub import Observability
 
 #: The result cache's key: a content hash of the fingerprint matrix (MAC
 #: and label excluded).  Canonically defined as
@@ -156,6 +159,7 @@ class DispatcherStats:
     batched: int = 0
     identified: int = 0
     identify_seconds: float = 0.0
+    last_batch_seconds: float = 0.0
     largest_batch: int = 0
     linger_flushes: int = 0
 
@@ -177,6 +181,9 @@ class BatchDispatcher:
             partial batch is forced by :meth:`poll`.  Without it, a
             sub-``max_batch`` trickle (or a DROP-policy queue smaller than
             ``max_batch``) would starve until end-of-stream drain.
+        observability: optional hub; when attached, the dispatcher's
+            counters become snapshot sources and every identify batch
+            lands in the ``dispatcher.identify_batch_seconds`` histogram.
     """
 
     def __init__(
@@ -188,6 +195,7 @@ class BatchDispatcher:
         cache: Optional[IdentificationCache] = None,
         use_discrimination: bool = True,
         max_linger: float = 5.0,
+        observability: Optional["Observability"] = None,
     ):
         if max_batch <= 0:
             raise SimulationError(f"max_batch must be positive, got {max_batch}")
@@ -200,6 +208,9 @@ class BatchDispatcher:
         self.use_discrimination = use_discrimination
         self.max_linger = max_linger
         self.stats = DispatcherStats()
+        self.observability = observability
+        if observability is not None:
+            observability.register_dispatcher(self)
 
     # ------------------------------------------------------------------ #
     # Input side.
@@ -308,7 +319,11 @@ class BatchDispatcher:
         unique_outcomes = self.identifier.identify_many(
             unique, use_discrimination=self.use_discrimination
         )
-        self.stats.identify_seconds += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.stats.identify_seconds += elapsed
+        self.stats.last_batch_seconds = elapsed
+        if self.observability is not None:
+            self.observability.observe_identify_batch(elapsed, len(pending))
         self.stats.batches += 1
         self.stats.batched += len(pending)
         self.stats.largest_batch = max(self.stats.largest_batch, len(pending))

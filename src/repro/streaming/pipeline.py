@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 from repro.gateway.security_gateway import SecurityGateway
 from repro.identification.identifier import UNKNOWN_DEVICE_TYPE
@@ -26,8 +26,16 @@ from repro.identification.lifecycle import LifecycleCoordinator
 from repro.security_service.service import IoTSecurityService
 from repro.simulation.clock import SimulatedClock
 from repro.streaming.assembler import AssemblerStats, ShardedFingerprintAssembler
-from repro.streaming.dispatcher import BatchDispatcher, DispatcherStats, IdentifiedDevice
+from repro.streaming.dispatcher import (
+    BatchDispatcher,
+    DispatcherStats,
+    IdentifiedDevice,
+    fingerprint_cache_key,
+)
 from repro.streaming.sources import PacketSource
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.obs.hub import Observability
 
 
 @dataclass
@@ -86,6 +94,10 @@ class StreamingPipeline:
         clock: shared stream clock; advanced to each packet's timestamp.
         eviction_interval: stream-seconds between idle-eviction sweeps
             (one shard per sweep, round-robin).
+        observability: optional hub; when attached (here or on the
+            dispatcher), every verdict leaving the pipeline lands in the
+            evidence ledger and the assembler/dispatcher counters become
+            snapshot sources.
     """
 
     def __init__(
@@ -96,6 +108,7 @@ class StreamingPipeline:
         on_identified: Optional[Callable[[IdentifiedDevice], None]] = None,
         clock: Optional[SimulatedClock] = None,
         eviction_interval: float = 1.0,
+        observability: Optional["Observability"] = None,
     ):
         self.source = source
         self.assembler = assembler or ShardedFingerprintAssembler()
@@ -103,6 +116,16 @@ class StreamingPipeline:
         self.on_identified = on_identified
         self.clock = clock or SimulatedClock()
         self.eviction_interval = eviction_interval
+        self.observability = (
+            observability if observability is not None else dispatcher.observability
+        )
+        if self.observability is not None:
+            # A hub handed to the pipeline covers its dispatcher too (and
+            # vice versa): the identify-batch histogram must fire whichever
+            # constructor the hub was attached through.
+            if dispatcher.observability is None:
+                dispatcher.observability = self.observability
+            self.observability.register_pipeline(self)
         self.stats = PipelineStats()
         self._next_eviction = self.clock.now() + eviction_interval
         self._eviction_shard = 0
@@ -175,7 +198,11 @@ class StreamingPipeline:
     def finish(self) -> list[IdentifiedDevice]:
         """Flush the assembler and drain the dispatcher (end of stream)."""
         identified: list[IdentifiedDevice] = []
-        for item in self.assembler.flush(self.clock.now()):
+        start = time.perf_counter()
+        flushed = self.assembler.flush(self.clock.now())
+        if flushed and self.observability is not None:
+            self.observability.observe_assembler_flush(time.perf_counter() - start)
+        for item in flushed:
             self.stats.fingerprints += 1
             identified.extend(self.dispatcher.submit(item))
         identified.extend(self.dispatcher.drain())
@@ -185,6 +212,15 @@ class StreamingPipeline:
 
     def _deliver(self, identified: list[IdentifiedDevice]) -> None:
         self.stats.identified += len(identified)
+        if self.observability is not None:
+            cache = self.dispatcher.cache
+            epoch = cache.epoch.generation if cache is not None else None
+            revision = self.dispatcher.identifier.revision
+            now = self.clock.now()
+            for item in identified:
+                self.observability.record_verdict(
+                    item, revision=revision, epoch=epoch, stream_time=now
+                )
         if self.on_identified is not None:
             for item in identified:
                 self.on_identified(item)
@@ -238,8 +274,13 @@ class GatewayEnforcementSink:
     security_service: IoTSecurityService
     sticky: bool = True
     lifecycle: Optional[LifecycleCoordinator] = None
+    observability: Optional["Observability"] = None
     enforced: int = 0
     skipped_downgrades: int = 0
+
+    def __post_init__(self) -> None:
+        if self.observability is not None:
+            self.observability.register_sink(self)
 
     @contextmanager
     def reprofiling(self):
@@ -266,7 +307,18 @@ class GatewayEnforcementSink:
                 self.skipped_downgrades += 1
                 return
         assessment = self.security_service.assess_device_type(identified.result.device_type)
-        self.gateway.apply_assessment(identified.mac, assessment)
+        record = self.gateway.apply_assessment(identified.mac, assessment)
         self.enforced += 1
+        if self.observability is not None:
+            lifecycle = self.lifecycle
+            self.observability.record_enforcement(
+                mac=str(identified.mac),
+                device_type=identified.result.device_type,
+                action=record.isolation_level.name,
+                revision=lifecycle.identifier.revision if lifecycle is not None else None,
+                epoch=lifecycle.epoch.generation if lifecycle is not None else None,
+                stream_time=self.gateway.clock.now(),
+                fingerprint_key_hex=fingerprint_cache_key(identified.fingerprint).hex(),
+            )
         if self.lifecycle is not None:
             self.lifecycle.note_identified(identified, now=self.gateway.clock.now())

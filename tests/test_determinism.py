@@ -222,3 +222,74 @@ class TestCrossProcess:
                 assert row[1] == score.score
                 assert tuple(row[3]) == score.reference_indices
                 assert row[4] == score.selection_seed
+
+
+# --------------------------------------------------------------------- #
+# The observability surface is part of the determinism contract: two
+# identically-driven gateways must produce byte-identical evidence
+# ledgers and byte-identical (timing-free) metric snapshots.
+# --------------------------------------------------------------------- #
+class TestObservabilityDeterminism:
+    @staticmethod
+    def _drive_observed_pipeline(identifier, ledger_path):
+        from repro.devices.catalog import DEVICE_CATALOG
+        from repro.devices.simulator import SetupTrafficSimulator
+        from repro.net.addresses import MACAddress
+        from repro.obs import Observability, VerdictLedger
+        from repro.streaming import (
+            BatchDispatcher,
+            IdentificationCache,
+            ShardedFingerprintAssembler,
+            SimulatedSource,
+            StreamingPipeline,
+            replay_trace,
+        )
+
+        simulator = SetupTrafficSimulator(seed=5)
+        traces = [
+            simulator.simulate(DEVICE_CATALOG[name], start_time=index * 3.0)
+            for index, name in enumerate(("Aria", "HueBridge", "EdnetCam"))
+        ]
+        quiet = max(p.timestamp for trace in traces for p in trace.packets)
+        # A replayed clone so the LRU cache path (from_cache records) runs.
+        clone_mac = MACAddress.from_string("02:0d:e7:00:00:01")
+        traces.append(replay_trace(traces[0], clone_mac, quiet + 40.0))
+
+        hub = Observability(ledger=VerdictLedger(ledger_path))
+        pipeline = StreamingPipeline(
+            source=SimulatedSource(traces=traces),
+            # max_batch=1: each fingerprint is identified (and cached) the
+            # moment it emits, so the clone's lookup always finds the
+            # original regardless of shard emission order -- the cache-hit
+            # path (from_cache verdict records) is part of the compared
+            # bytes.
+            dispatcher=BatchDispatcher(
+                identifier, max_batch=1, cache=IdentificationCache(capacity=32)
+            ),
+            assembler=ShardedFingerprintAssembler(shards=4),
+            on_identified=lambda item: None,
+            observability=hub,
+        )
+        pipeline.run()
+        snapshot = hub.snapshot(include_timings=False)
+        hub.ledger.close()
+        return snapshot
+
+    def test_snapshots_and_ledgers_byte_identical(self, trained_identifier, tmp_path):
+        """Two identically-driven pipelines: same snapshot bytes, same
+        ledger bytes (timings excluded -- wall clock is the one
+        legitimately nondeterministic input)."""
+        first_path = tmp_path / "one" / "ledger.ndjson"
+        second_path = tmp_path / "two" / "ledger.ndjson"
+        first = self._drive_observed_pipeline(trained_identifier, first_path)
+        second = self._drive_observed_pipeline(trained_identifier, second_path)
+
+        first_json = json.dumps(first, sort_keys=True)
+        second_json = json.dumps(second, sort_keys=True)
+        assert first_json == second_json
+        # The filter left real work visible and no wall-clock keys behind.
+        assert first["ledger.verdict_records"] == 4
+        assert first["identification_cache.hits"] >= 1
+        assert not any("seconds" in key for key in first)
+
+        assert first_path.read_bytes() == second_path.read_bytes()
