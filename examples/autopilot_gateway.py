@@ -4,11 +4,12 @@
 ``examples/online_learning.py`` shows the *operator-driven* lifecycle:
 a human notices the quarantine filling up and calls
 ``learn_device_type`` by hand.  This variant is the self-driving
-counterpart (see ``docs/operations.md``):
+counterpart (see ``docs/operations.md``), with the entire stack --
+gateway, lifecycle coordinator with durable quarantine, enforcement
+sink, autopilot -- declared in one :class:`~repro.api.GatewayConfig`:
 
 1. train the identifier on a fleet that does *not* include HomeMatic
-   plugs and wire the full stack -- gateway, lifecycle coordinator with
-   durable quarantine, enforcement sink, autopilot;
+   plugs and ``build_gateway`` the full stack;
 2. three identical HomeMatic plugs join and identify as unknown: they
    are parked under strict isolation and the quarantine log is persisted
    write-through beside the model bundle;
@@ -18,9 +19,9 @@ counterpart (see ``docs/operations.md``):
    operator promotes it;
 4. the operator reviews and ``promote``\\ s the label: the fleet relaxes
    to its full assessed isolation;
-5. a simulated restart: ``LifecycleCoordinator.resume`` rebuilds the
-   lifecycle from the persisted bundle + quarantine log at the learned
-   epoch;
+5. a simulated restart: ``build_gateway(GatewayConfig(resume=True,
+   ...))`` rebuilds the whole gateway from the persisted bundle +
+   quarantine log at the learned epoch;
 6. a steady-state re-profiling pass (sticky off) demonstrates drift
    detection: a device whose fingerprint shifted re-enters quarantine.
 
@@ -30,21 +31,12 @@ Run with ``python examples/autopilot_gateway.py``.
 import tempfile
 from pathlib import Path
 
+from repro import GatewayConfig, GatewayHandle, build_gateway
 from repro.datasets import generate_fingerprint_dataset
 from repro.devices import DEVICE_CATALOG, SetupTrafficSimulator
 from repro.features import Fingerprint
-from repro.gateway import SecurityGateway
-from repro.identification import (
-    DeviceTypeIdentifier,
-    LifecycleAutopilot,
-    LifecycleCoordinator,
-    ReprofileScheduler,
-    TriggerPolicy,
-)
+from repro.identification import DeviceTypeIdentifier, ReprofileScheduler, TriggerPolicy
 from repro.net.addresses import MACAddress
-from repro.security_service import IoTSecurityService
-from repro.streaming import BatchDispatcher, GatewayEnforcementSink
-from repro.streaming.assembler import ReadyFingerprint
 
 KNOWN_TYPES = ["Aria", "HueBridge", "EdnetCam", "WeMoSwitch", "TP-LinkPlugHS110"]
 UNKNOWN_TYPE = "HomeMaticPlug"
@@ -59,8 +51,8 @@ FIRMWARE_SEED = 55
 UPDATED_FIRMWARE_TYPE = "SmarterCoffee"
 
 
-def print_fleet(gateway: SecurityGateway) -> None:
-    for record in sorted(gateway.devices.values(), key=lambda r: str(r.mac)):
+def print_fleet(handle: GatewayHandle) -> None:
+    for record in sorted(handle.gateway.devices.values(), key=lambda r: str(r.mac)):
         print(
             f"   {str(record.mac):18s} {record.device_type:22s} "
             f"{record.isolation_level.value}"
@@ -80,47 +72,37 @@ def plug_fingerprint(
     return Fingerprint.from_packets(trace.packets)
 
 
-def identify(dispatcher, sink, mac, fingerprint) -> None:
-    ready = ReadyFingerprint(mac=mac, fingerprint=fingerprint, reason="budget")
-    for item in dispatcher.submit(ready) + dispatcher.drain():
-        sink(item)
-
-
 def main() -> None:
-    print("== 1. Boot: train, wire the stack, enable durable quarantine ==")
+    print("== 1. Boot: one config -> the full autonomous stack ==")
     dataset = generate_fingerprint_dataset(runs_per_type=10, device_names=KNOWN_TYPES, seed=3)
     identifier = DeviceTypeIdentifier.train(dataset.to_registry(), random_state=3)
     state_dir = Path(tempfile.mkdtemp(prefix="iot-sentinel-autopilot-"))
 
-    service = IoTSecurityService(identifier=identifier)
-    gateway = SecurityGateway(security_service=service)
-    coordinator = LifecycleCoordinator(
-        identifier=identifier,
-        store_path=state_dir / "model.npz",
-        quarantine_path=state_dir / "quarantine.npz",
+    handle = build_gateway(
+        GatewayConfig(
+            identifier=identifier,
+            max_batch=8,
+            store_path=state_dir / "model.npz",
+            quarantine_path=state_dir / "quarantine.npz",
+            autopilot=True,
+            trigger_policy=TriggerPolicy(
+                min_cluster_size=CLUSTER_SIZE, cooldown_seconds=60.0
+            ),
+        )
     )
-    sink = GatewayEnforcementSink(gateway=gateway, security_service=service, lifecycle=coordinator)
-    coordinator.sink = sink
-    gateway.attach_lifecycle(coordinator)
-    dispatcher = BatchDispatcher(identifier, max_batch=8, cache=coordinator.make_cache())
-    autopilot = LifecycleAutopilot(
-        coordinator,
-        policy=TriggerPolicy(min_cluster_size=CLUSTER_SIZE, cooldown_seconds=60.0),
-        security_service=service,
-    )
-    coordinator.save_snapshot()
+    handle.lifecycle.save_snapshot()
     print(f"   known types: {', '.join(identifier.known_device_types)}")
     print(f"   durable state under {state_dir}")
 
     print(f"== 2. {CLUSTER_SIZE} identical {UNKNOWN_TYPE}s join; all unknown ==")
     macs = [device_mac(index + 1) for index in range(CLUSTER_SIZE)]
     for mac in macs:
-        identify(dispatcher, sink, mac, plug_fingerprint(mac))
-    print_fleet(gateway)
-    print(f"   quarantined: {len(coordinator.quarantine)} (persisted write-through)")
+        handle.identify(mac, plug_fingerprint(mac))
+    print_fleet(handle)
+    print(f"   quarantined: {len(handle.lifecycle.quarantine)} (persisted write-through)")
 
     print("== 3. The autopilot notices the cluster and learns the type ==")
-    decisions = autopilot.poll(now=120.0)
+    decisions = handle.autopilot.poll(now=120.0)
     for decision in decisions:
         report = decision.report
         print(
@@ -129,25 +111,31 @@ def main() -> None:
             f"re-identified {report.quarantined} at "
             f"{report.devices_per_second:,.0f} devices/s, epoch {report.generation})"
         )
-    print_fleet(gateway)
+    print_fleet(handle)
     print("   (provisional label: capped at restricted until promoted)")
 
     print("== 4. The operator reviews and promotes the label ==")
     label = decisions[0].report.device_type
-    upgraded = autopilot.promote(label)
+    upgraded = handle.autopilot.promote(label)
     print(f"   promoted {label!r}: {upgraded} device(s) re-assessed")
-    print_fleet(gateway)
+    print_fleet(handle)
 
-    print("== 5. Restart: resume from the persisted bundle + quarantine log ==")
-    resumed = LifecycleCoordinator.resume(state_dir / "model.npz", state_dir / "quarantine.npz")
+    print("== 5. Restart: resume the whole gateway from persisted state ==")
+    resumed = build_gateway(
+        GatewayConfig(
+            resume=True,
+            store_path=state_dir / "model.npz",
+            quarantine_path=state_dir / "quarantine.npz",
+        )
+    )
     print(
-        f"   resumed at epoch {resumed.epoch.generation}, "
-        f"{len(resumed.quarantine)} pending device(s), "
+        f"   resumed at epoch {resumed.epoch}, "
+        f"{len(resumed.lifecycle.quarantine)} pending device(s), "
         f"{len(resumed.identifier.known_device_types)} known types"
     )
 
     print("== 6. Steady-state re-profiling detects fingerprint drift ==")
-    scheduler = ReprofileScheduler(coordinator, interval=3600.0, batch_budget=64)
+    scheduler = ReprofileScheduler(handle.lifecycle, interval=3600.0, batch_budget=64)
     drifted_mac = macs[0]
     fleet = [
         (
@@ -163,8 +151,8 @@ def main() -> None:
         f"   examined {report.examined}: {len(report.unchanged)} unchanged, "
         f"{len(report.drifted)} drifted, {len(report.retyped)} retyped"
     )
-    print_fleet(gateway)
-    print(f"   quarantined again: {coordinator.quarantine.macs()}")
+    print_fleet(handle)
+    print(f"   quarantined again: {handle.lifecycle.quarantine.macs()}")
     print("   (from here the same quarantine -> learn flow takes over)")
 
 

@@ -2,9 +2,10 @@
 """The gateway explaining itself: evidence ledger + metrics snapshot.
 
 ``streaming_gateway.py`` shows the dataflow; this demo shows the *audit
-trail*.  One :class:`~repro.obs.Observability` hub is wired through the
-whole serving path -- dispatcher, pipeline, enforcement sink, lifecycle
-coordinator and autopilot -- so that:
+trail*.  The :class:`~repro.api.GatewayConfig` facade wires one
+:class:`~repro.obs.Observability` hub through the whole serving path --
+dispatcher, pipeline, enforcement sink, lifecycle coordinator and
+autopilot -- so that:
 
 1. every verdict, enforcement change, quarantine transition, learn and
    promotion lands in an append-only NDJSON ledger (``ledger.ndjson``);
@@ -23,27 +24,16 @@ Run with ``python examples/observability_gateway.py [--out DIR]``.
 """
 
 import argparse
-import json
 from pathlib import Path
 
+from repro import GatewayConfig, build_gateway
 from repro.datasets import generate_fingerprint_dataset
 from repro.devices import DEVICE_CATALOG, SetupTrafficSimulator
-from repro.gateway import SecurityGateway
 from repro.identification import DeviceTypeIdentifier
-from repro.identification.autopilot import LifecycleAutopilot, TriggerPolicy
-from repro.identification.lifecycle import LifecycleCoordinator
+from repro.identification.autopilot import TriggerPolicy
 from repro.net.addresses import MACAddress
-from repro.obs import Observability, VerdictLedger, replay_ledger
-from repro.security_service import IoTSecurityService
-from repro.simulation.clock import SimulatedClock
-from repro.streaming import (
-    BatchDispatcher,
-    GatewayEnforcementSink,
-    ShardedFingerprintAssembler,
-    SimulatedSource,
-    StreamingPipeline,
-    replay_trace,
-)
+from repro.obs import replay_ledger
+from repro.streaming import SimulatedSource, replay_trace
 
 TRAINED_TYPES = ["Aria", "HueBridge", "EdnetCam", "WeMoSwitch"]
 UNKNOWN_MODEL = "TP-LinkPlugHS110"  # never trained: will be quarantined
@@ -67,33 +57,7 @@ def main() -> None:
     identifier = DeviceTypeIdentifier.train(dataset.to_registry(), random_state=0)
     print(f"   known device-types: {', '.join(identifier.known_device_types)}")
 
-    print("== 2. Wiring the observability hub through the serving path ==")
-    # A small rotation threshold so the demo ledger exercises the rotated
-    # chain too; production would use the (4 MiB) default.
-    ledger = VerdictLedger(args.out / "ledger.ndjson", max_bytes=4096, max_files=16)
-    hub = Observability(ledger=ledger)
-
-    # One stream clock shared by the pipeline and the gateway, so ledger
-    # stream_time stamps agree across verdict and enforcement records.
-    clock = SimulatedClock()
-    gateway = SecurityGateway(clock=clock)
-    service = IoTSecurityService(identifier=identifier)
-    sink = GatewayEnforcementSink(
-        gateway=gateway, security_service=service, observability=hub
-    )
-    coordinator = LifecycleCoordinator(
-        identifier=identifier, sink=sink, observability=hub
-    )
-    sink.lifecycle = coordinator
-    gateway.attach_lifecycle(coordinator)
-    autopilot = LifecycleAutopilot(
-        coordinator,
-        policy=TriggerPolicy(min_cluster_size=3),
-        security_service=service,
-    )
-    print(f"   metric sources wired: {', '.join(hub.metrics.sources)}")
-
-    print("== 3. Streaming a fleet (including 3 devices of the unknown model) ==")
+    print("== 2. One config: the hub wired through the whole serving path ==")
     simulator = SetupTrafficSimulator(seed=42)
     traces = [
         simulator.simulate(DEVICE_CATALOG[name], start_time=index * 3.0)
@@ -105,32 +69,42 @@ def main() -> None:
     for index in range(2):
         mac = MACAddress.from_string(f"02:50:f0:00:00:{index + 1:02x}")
         traces.append(replay_trace(unknown, mac, quiet + 20.0 + index * 2.0))
-    source = SimulatedSource(traces=traces)
 
-    pipeline = StreamingPipeline(
-        source=source,
-        dispatcher=BatchDispatcher(identifier, max_batch=4, cache=coordinator.make_cache()),
-        assembler=ShardedFingerprintAssembler(shards=4),
-        on_identified=sink,
-        clock=clock,
-        observability=hub,
+    handle = build_gateway(
+        GatewayConfig(
+            identifier=identifier,
+            source=SimulatedSource(traces=traces),
+            max_batch=4,
+            shards=4,
+            autopilot=True,
+            trigger_policy=TriggerPolicy(min_cluster_size=3),
+            ledger_path=args.out / "ledger.ndjson",
+            # A small rotation threshold so the demo ledger exercises the
+            # rotated chain too; production would use the (4 MiB) default.
+            ledger_max_bytes=4096,
+            ledger_max_files=16,
+        )
     )
-    stats = pipeline.run()
+    hub = handle.observability
+    print(f"   metric sources wired: {', '.join(hub.metrics.sources)}")
+
+    print("== 3. Streaming a fleet (including 3 devices of the unknown model) ==")
+    stats = handle.run_until_idle()
     print(f"   {stats.summary()}")
-    print(f"   quarantined unknowns: {len(coordinator.quarantine)}")
+    print(f"   quarantined unknowns: {len(handle.lifecycle.quarantine)}")
 
     print("== 4. Autopilot: learn the unknown model, then promote the label ==")
-    decisions = autopilot.poll(now=pipeline.clock.now())
+    decisions = handle.autopilot.poll(now=handle.clock.now())
     for decision in decisions:
         print(f"   {decision.action}: {decision.proposal.label} "
               f"(cluster of {decision.proposal.cluster_size})")
     for decision in decisions:
         if decision.action == "learned":
-            upgraded = autopilot.promote(decision.proposal.label)
+            upgraded = handle.autopilot.promote(decision.proposal.label)
             print(f"   promoted {decision.proposal.label}: {upgraded} rules relaxed")
 
     print("== 5. The gateway explains itself ==")
-    snapshot = hub.snapshot()
+    snapshot = handle.snapshot()
     snapshot_path = args.out / "snapshot.json"
     snapshot_path.write_text(hub.snapshot_json() + "\n", encoding="utf-8")
     for key in (
@@ -144,16 +118,16 @@ def main() -> None:
         "cache_epoch.generation",
     ):
         print(f"   {key} = {snapshot[key]}")
-    ledger.close()
+    handle.close()
 
-    replay = replay_ledger(ledger.path)
+    replay = replay_ledger(hub.ledger.path)
     print(f"   ledger: {len(replay.records)} records across {len(replay.files)} file(s)")
     mac = str(unknown.device_mac)
     print(f"   evidence trail of {mac}:")
     for record in replay.for_mac(mac):
         extra = record.enforcement_action or record.detail.get("transition") or record.verdict
         print(f"     #{record.sequence:<3} {record.kind:<12} {extra}")
-    print(f"   artifacts: {ledger.path}, {snapshot_path}")
+    print(f"   artifacts: {hub.ledger.path}, {snapshot_path}")
 
 
 if __name__ == "__main__":

@@ -7,28 +7,20 @@ this demo runs the full streaming dataflow of the paper's gateway:
 1. train the identifier on simulated lab captures;
 2. let a fleet of devices (including two identical models joining later)
    perform their setup procedures, interleaved on the wire;
-3. stream every packet through the sharded fingerprint assembler and the
-   batching/caching dispatcher;
+3. stand the whole serving stack up from one declarative
+   :class:`~repro.api.GatewayConfig` -- assembler, dispatcher, cache,
+   enforcement sink and observability are wired by ``build_gateway``;
 4. enforce each verdict on the Security Gateway the moment it is ready.
 
 Run with ``python examples/streaming_gateway.py``.
 """
 
+from repro import GatewayConfig, build_gateway
 from repro.datasets import generate_fingerprint_dataset
 from repro.devices import DEVICE_CATALOG, SetupTrafficSimulator
-from repro.gateway import SecurityGateway
 from repro.identification import DeviceTypeIdentifier
 from repro.net.addresses import MACAddress
-from repro.security_service import IoTSecurityService
-from repro.streaming import (
-    BatchDispatcher,
-    GatewayEnforcementSink,
-    IdentificationCache,
-    ShardedFingerprintAssembler,
-    SimulatedSource,
-    StreamingPipeline,
-    replay_trace,
-)
+from repro.streaming import SimulatedSource, replay_trace
 
 DEVICE_TYPES = ["Aria", "HueBridge", "EdnetCam", "WeMoSwitch", "TP-LinkPlugHS110"]
 
@@ -54,32 +46,24 @@ def main() -> None:
     source = SimulatedSource(traces=traces)
     print(f"   {len(traces)} devices, {len(source)} packets on the wire")
 
-    print("== 3. Streaming the packets through assembly -> identification ==")
-    gateway = SecurityGateway()
-    sink = GatewayEnforcementSink(
-        gateway=gateway,
-        security_service=IoTSecurityService(identifier=identifier),
+    print("== 3. One config, one call: the assembled serving stack ==")
+    handle = build_gateway(
+        GatewayConfig(identifier=identifier, source=source, max_batch=4, shards=4)
     )
-    pipeline = StreamingPipeline(
-        source=source,
-        dispatcher=BatchDispatcher(identifier, max_batch=4, cache=IdentificationCache()),
-        assembler=ShardedFingerprintAssembler(shards=4),
-        on_identified=sink,
-    )
-    for identified in pipeline.results():
+    for identified in handle.stream():
         origin = "cache " if identified.from_cache else "forest"
-        record = gateway.device_record(identified.mac)
+        record = handle.gateway.device_record(identified.mac)
         print(
             f"   [{origin}] {identified.mac} -> {identified.result.device_type:<18}"
             f" isolation={record.isolation_level.name.lower()}"
         )
 
     print("== 4. Pipeline statistics ==")
-    stats = pipeline.stats
+    stats = handle.pipeline.stats
     print(f"   {stats.summary()}")
     print(f"   cache hit rate:    {stats.cache_hit_rate:.0%}")
-    print(f"   rules enforced:    {sink.enforced}")
-    print(f"   devices known to the gateway: {gateway.connected_device_count}")
+    print(f"   rules enforced:    {handle.sink.enforced}")
+    print(f"   devices known to the gateway: {handle.gateway.connected_device_count}")
 
 
 if __name__ == "__main__":

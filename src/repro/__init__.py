@@ -30,15 +30,33 @@ The package is organised in layers that mirror the paper's system design:
 * :mod:`repro.obs` -- the observability surface: an append-only,
   schema-versioned evidence ledger of every verdict and lifecycle event,
   and a unified metrics registry behind one ``snapshot()``.
+* :mod:`repro.api` -- the declarative gateway-construction facade:
+  :class:`~repro.api.GatewayConfig` in, fully wired
+  :class:`~repro.api.GatewayHandle` out.
+* :mod:`repro.fleet` -- epoch-coordinated multi-gateway serving: the
+  model-distribution channel, hot bundle swaps and the fleet health /
+  convergence view.
 * :mod:`repro.eval` -- experiment runners that regenerate every table and
   figure of the paper's evaluation section.
 
 The most commonly used entry points of every layer are re-exported here;
-``from repro import DeviceTypeIdentifier, StreamingPipeline`` is the
-intended way to consume the package.
+``from repro import GatewayConfig, build_gateway`` is the intended way
+to stand up a serving gateway, and
+``from repro import DeviceTypeIdentifier, StreamingPipeline`` the way to
+reach the underlying layers.
 """
 
+from repro.api import GatewayConfig, GatewayHandle, SwapReport, build_gateway
+from repro.exceptions import ConfigError, FleetError
 from repro.features.fingerprint import Fingerprint, fingerprint_from_packets
+from repro.fleet import (
+    BundleSubscriber,
+    ConvergenceReport,
+    FleetCoordinator,
+    FleetHealthView,
+    GatewayHealth,
+    PushRecord,
+)
 from repro.gateway.security_gateway import SecurityGateway
 from repro.identification.autopilot import (
     LearnProposal,
@@ -90,6 +108,18 @@ from repro.version import __version__
 
 __all__ = [
     "__version__",
+    "build_gateway",
+    "BundleSubscriber",
+    "ConfigError",
+    "ConvergenceReport",
+    "FleetCoordinator",
+    "FleetError",
+    "FleetHealthView",
+    "GatewayConfig",
+    "GatewayHandle",
+    "GatewayHealth",
+    "PushRecord",
+    "SwapReport",
     "Fingerprint",
     "fingerprint_from_packets",
     "SecurityGateway",

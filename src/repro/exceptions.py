@@ -61,6 +61,18 @@ class SimulationError(ReproError):
     """Raised for invalid simulation configuration."""
 
 
+class ConfigError(ReproError):
+    """Raised when a declarative gateway configuration is invalid.
+
+    The message always names the offending field(s) so a caller can fix
+    the :class:`~repro.api.GatewayConfig` without reading the stack.
+    """
+
+
+class FleetError(ReproError):
+    """Raised for invalid fleet-coordination operations (push/apply/rollback)."""
+
+
 class ObservabilityError(ReproError):
     """Raised for invalid metrics-registry or observability-hub usage."""
 

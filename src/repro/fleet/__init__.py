@@ -1,0 +1,29 @@
+"""Epoch-coordinated multi-gateway serving (the fleet layer).
+
+One trainer, many gateways: the :class:`FleetCoordinator` is the
+model-distribution channel -- each :meth:`~FleetCoordinator.push`
+publishes an epoch-watermarked :class:`PushRecord`, every member's
+:class:`BundleSubscriber` applies pending records in order through its
+gateway's hot-swap hook, and :class:`FleetHealthView` reads each
+member's metrics snapshot into one :class:`ConvergenceReport` (who
+lags, by how many epochs).
+
+The fleet layer sits entirely on top of :mod:`repro.api`: a member is
+just a :class:`~repro.api.GatewayHandle`, and a push lands as
+:meth:`~repro.api.GatewayHandle.swap_bundle`.  Determinism (PR 5) makes
+convergence *checkable*: once two gateways serve the same epoch and
+revision, their verdict streams for the same traffic are bit-identical,
+so "converged" is an assertable property rather than a hope.
+"""
+
+from repro.fleet.channel import BundleSubscriber, FleetCoordinator, PushRecord
+from repro.fleet.health import ConvergenceReport, FleetHealthView, GatewayHealth
+
+__all__ = [
+    "BundleSubscriber",
+    "ConvergenceReport",
+    "FleetCoordinator",
+    "FleetHealthView",
+    "GatewayHealth",
+    "PushRecord",
+]

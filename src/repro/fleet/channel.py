@@ -1,0 +1,292 @@
+"""The model-distribution channel: epoch-watermarked pushes, ordered applies.
+
+The coordination model is deliberately minimal -- an append-only list of
+:class:`PushRecord` per fleet, a per-member cursor -- because the hard
+guarantees live elsewhere: :class:`~repro.identification.lifecycle.CacheEpoch`
+refuses to move backwards, the gateway's
+:meth:`~repro.api.GatewayHandle.swap_bundle` is idempotent on replays,
+and verdict determinism (PR 5) makes post-convergence agreement
+checkable bit-for-bit.  What the channel adds is *ordering* (members
+apply pushes in publication order, never skipping forward past an
+unapplied epoch) and *watermark discipline*:
+
+* every push must carry a strictly higher epoch than the channel's
+  watermark -- a re-push of the current ``(epoch, revision)`` is a
+  counted idempotent no-op, a same-epoch different-revision push is
+  rejected (re-stamp required);
+* rollback is a *forward* operation: :meth:`FleetCoordinator.rollback`
+  re-publishes the previous bundle under a fresh higher epoch, so the
+  model reverts while every monotonicity invariant (ledger audit,
+  ``CacheEpoch``) holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.api import GatewayConfig, GatewayHandle, SwapReport, build_gateway
+from repro.exceptions import FleetError
+from repro.identification.model_store import bundle_info
+from repro.obs.hub import Observability
+
+
+@dataclass(frozen=True)
+class PushRecord:
+    """One published model bundle: the unit of fleet convergence.
+
+    Attributes:
+        push_id: 1-based position in the channel (the subscriber cursor
+            counts these).
+        bundle_path: the model-store bundle members load.
+        epoch: the watermark members adopt -- normally the bundle's own
+            stamp, but a push-time override beats it (the rollback path
+            re-publishes an old bundle under a fresh higher epoch).
+        revision: the identifier revision inside the bundle (the
+            deterministic draw salt, so equal revision + equal epoch
+            implies bit-identical verdicts).
+        note: free-form operator annotation, carried into the ledger.
+    """
+
+    push_id: int
+    bundle_path: str
+    epoch: int
+    revision: int
+    note: str = ""
+
+
+@dataclass
+class BundleSubscriber:
+    """One fleet member's ordered view of the channel.
+
+    Holds a cursor into the coordinator's push list; :meth:`poll` applies
+    every record the member has not seen yet, in publication order,
+    through the gateway's hot-swap hook.  Replayed records the gateway
+    already serves are counted as duplicates (idempotent no-ops);
+    records the gateway has already moved past (it joined late, or an
+    operator swapped it by hand) are counted as skipped.
+    """
+
+    name: str
+    handle: GatewayHandle
+    channel: "FleetCoordinator"
+    cursor: int = 0
+    applied: int = 0
+    duplicates: int = 0
+    skipped: int = 0
+
+    @property
+    def lag(self) -> int:
+        """Epochs between the channel watermark and what this member serves."""
+        watermark = self.channel.watermark
+        if watermark is None:
+            return 0
+        return max(0, watermark.epoch - self.handle.epoch)
+
+    @property
+    def pending(self) -> int:
+        """Push records published but not yet polled by this member."""
+        return len(self.channel.pushes) - self.cursor
+
+    def poll(self) -> list[SwapReport]:
+        """Apply every pending push record, in order; return what applied."""
+        reports: list[SwapReport] = []
+        while self.cursor < len(self.channel.pushes):
+            record = self.channel.pushes[self.cursor]
+            self.cursor += 1
+            if record.epoch < self.handle.epoch:
+                self.skipped += 1
+                continue
+            report = self.handle.swap_bundle(
+                record.bundle_path, epoch=record.epoch, push_id=record.push_id
+            )
+            if self.channel.observability is not None:
+                # Mirror the apply onto the channel's ledger too, so the
+                # trainer side holds the full distribution audit trail
+                # (which member applied which push) in one file.
+                self.channel.observability.record_apply(
+                    gateway=self.name,
+                    epoch=report.epoch,
+                    revision=report.revision,
+                    applied=report.applied,
+                    push_id=record.push_id,
+                    reason=report.reason,
+                )
+            if report.applied:
+                self.applied += 1
+                reports.append(report)
+            else:
+                self.duplicates += 1
+        return reports
+
+
+@dataclass
+class FleetCoordinator:
+    """The trainer-side end of the channel, and the fleet membership roster.
+
+    Attributes:
+        name: fleet name (ledger push records carry it as the note
+            prefix only when a note is given; otherwise informational).
+        observability: optional hub; when set, every push (including
+            counted duplicates) lands in its evidence ledger as an
+            epoch-stamped ``push`` record.
+        pushes: the append-only channel, oldest first.
+        members: subscriber per member gateway, keyed by gateway name.
+        duplicate_pushes: replayed pushes absorbed as idempotent no-ops.
+    """
+
+    name: str = "fleet"
+    observability: Optional[Observability] = None
+    pushes: list[PushRecord] = field(default_factory=list)
+    members: dict[str, BundleSubscriber] = field(default_factory=dict)
+    duplicate_pushes: int = 0
+
+    @property
+    def watermark(self) -> Optional[PushRecord]:
+        """The newest push record, or ``None`` before the first push."""
+        return self.pushes[-1] if self.pushes else None
+
+    # ------------------------------------------------------------------ #
+    # Publishing.
+    # ------------------------------------------------------------------ #
+    def push(
+        self,
+        bundle_path: Union[str, Path],
+        epoch: Optional[int] = None,
+        note: str = "",
+    ) -> PushRecord:
+        """Publish a model bundle to the fleet under an epoch watermark.
+
+        The watermark defaults to the bundle's own epoch stamp; an
+        explicit ``epoch`` overrides it (how :meth:`rollback` re-issues
+        an old bundle under a fresh epoch).  Re-pushing the watermark's
+        exact ``(epoch, revision)`` is a counted idempotent no-op that
+        returns the existing record; any other non-advancing push is a
+        :class:`FleetError`.
+
+        Publishing does not distribute: members pick the record up on
+        their next :meth:`BundleSubscriber.poll` (or :meth:`sync_all`).
+        """
+        info = bundle_info(bundle_path)
+        stamped = info["epoch"]
+        target = epoch if epoch is not None else (stamped if stamped is not None else 0)
+        revision = info["revision"]
+        watermark = self.watermark
+        if watermark is not None:
+            if target == watermark.epoch and revision == watermark.revision:
+                self.duplicate_pushes += 1
+                self._record_push(watermark, duplicate=True)
+                return watermark
+            if target == watermark.epoch:
+                raise FleetError(
+                    f"push of {bundle_path} carries epoch {target}, which the "
+                    f"channel watermark already holds with a different revision "
+                    f"({revision} vs {watermark.revision}); re-stamp the bundle "
+                    "with a fresh epoch before pushing"
+                )
+            if target < watermark.epoch:
+                raise FleetError(
+                    f"push of {bundle_path} carries epoch {target} behind the "
+                    f"channel watermark {watermark.epoch}; epochs only move "
+                    "forward -- to roll back, re-publish the old bundle under "
+                    "a fresh higher epoch (FleetCoordinator.rollback)"
+                )
+        record = PushRecord(
+            push_id=len(self.pushes) + 1,
+            bundle_path=str(bundle_path),
+            epoch=target,
+            revision=revision,
+            note=note,
+        )
+        self.pushes.append(record)
+        self._record_push(record, duplicate=False)
+        return record
+
+    def rollback(self, note: str = "rollback") -> PushRecord:
+        """Revert the fleet to the previous bundle -- by moving *forward*.
+
+        Re-publishes the next-to-last push's bundle under a fresh epoch
+        one past the watermark.  The model content reverts while the
+        epoch advances, so cache invalidation still triggers on every
+        member (staleness is a generation *inequality*) and the ledger's
+        cache-epoch monotonicity audit stays clean.
+        """
+        if len(self.pushes) < 2:
+            raise FleetError(
+                f"cannot roll back: the channel holds {len(self.pushes)} "
+                "push(es) and rollback needs a previous one to return to"
+            )
+        previous = self.pushes[-2]
+        return self.push(
+            previous.bundle_path,
+            epoch=self.watermark.epoch + 1,
+            note=note or f"rollback to push {previous.push_id}",
+        )
+
+    def _record_push(self, record: PushRecord, duplicate: bool) -> None:
+        if self.observability is not None:
+            self.observability.record_push(
+                push_id=record.push_id,
+                bundle_path=record.bundle_path,
+                epoch=record.epoch,
+                revision=record.revision,
+                duplicate=duplicate,
+                note=record.note,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Membership.
+    # ------------------------------------------------------------------ #
+    def spawn_gateway(
+        self, name: str, config: Optional[GatewayConfig] = None
+    ) -> GatewayHandle:
+        """Build a fleet member from the channel watermark's bundle.
+
+        Takes a :class:`~repro.api.GatewayConfig` as the *template* (all
+        tuning knobs honoured) but overrides the model source with the
+        watermark bundle and the name with ``name``, then registers the
+        member.  Requires at least one prior :meth:`push` -- a fleet
+        member's model always comes from the channel.
+        """
+        watermark = self.watermark
+        if watermark is None:
+            raise FleetError(
+                "spawn_gateway needs a channel watermark; push a bundle first"
+            )
+        template = config if config is not None else GatewayConfig()
+        member_config = replace(
+            template,
+            name=name,
+            bundle_path=watermark.bundle_path,
+            identifier=None,
+            resume=False,
+        )
+        handle = build_gateway(member_config)
+        if watermark.epoch > handle.epoch:
+            # A rollback watermark outruns the bundle's own stamp; the
+            # member adopts the channel epoch, not the file's.
+            handle.adopt_epoch(watermark.epoch)
+        subscriber = self.register(handle)
+        # A spawned member starts caught up -- it was built from the
+        # watermark bundle, so the channel's history predates it.
+        subscriber.cursor = len(self.pushes)
+        return handle
+
+    def register(self, handle: GatewayHandle) -> BundleSubscriber:
+        """Enroll an existing gateway as a fleet member.
+
+        The subscriber's cursor starts at the head of the channel, so a
+        member that joined late catches up on its first poll (records
+        behind its current epoch are counted as skipped, the rest apply
+        in order).
+        """
+        if handle.name in self.members:
+            raise FleetError(f"fleet already has a member named {handle.name!r}")
+        subscriber = BundleSubscriber(name=handle.name, handle=handle, channel=self)
+        self.members[handle.name] = subscriber
+        return subscriber
+
+    def sync_all(self) -> dict[str, int]:
+        """Poll every member; return how many pushes each applied."""
+        return {name: len(sub.poll()) for name, sub in sorted(self.members.items())}

@@ -121,6 +121,29 @@ class CacheEpoch:
         self.invalidations += 1
         return self.generation
 
+    def advance_to(self, generation: int) -> int:
+        """Jump forward to an externally assigned generation (fleet push).
+
+        A pushed model bundle arrives stamped with the epoch watermark the
+        trainer assigned; the receiving gateway adopts that generation
+        instead of minting its own, so every member of the fleet reports
+        the *same* number for the same model.  Advancing counts as one
+        invalidation (all current cache entries become unreachable);
+        advancing to the current generation is a no-op; moving backwards
+        is refused -- a rollback re-publishes the old bundle under a
+        *fresh, higher* watermark (see ``FleetCoordinator.rollback``).
+        """
+        if generation < self.generation:
+            raise LifecycleError(
+                f"cannot move epoch backwards (at {self.generation}, "
+                f"asked for {generation}); rollbacks re-stamp the bundle "
+                "under a fresh higher epoch"
+            )
+        if generation > self.generation:
+            self.generation = generation
+            self.invalidations += 1
+        return self.generation
+
     def __repr__(self) -> str:
         return f"CacheEpoch(generation={self.generation})"
 
@@ -537,6 +560,43 @@ class LifecycleCoordinator:
         if self.observability is not None:
             self.observability.record_learn(report, revision=self.identifier.revision)
         return report
+
+    # ------------------------------------------------------------------ #
+    # Fleet-push adoption.
+    # ------------------------------------------------------------------ #
+    def adopt_epoch(self, generation: int) -> int:
+        """Advance to a pushed bundle's epoch watermark and invalidate.
+
+        The fleet counterpart of the bump inside
+        :meth:`learn_device_type`: the generation is *assigned* by the
+        trainer that stamped the bundle rather than minted locally, so
+        every gateway that applies the same push converges on the same
+        number.  Every registered cache is cleared (belt) on top of the
+        epoch advance (braces), and the quarantine log is re-persisted
+        under the new stamp so a restart resumes at the adopted epoch.
+        """
+        generation = self.epoch.advance_to(generation)
+        for cache in self._caches:
+            cache.clear()
+        self._persist_quarantine()
+        return generation
+
+    def adopt_identifier(
+        self, identifier: DeviceTypeIdentifier, generation: int
+    ) -> DeviceTypeIdentifier:
+        """Install a pushed model and restore coherence (hot swap path).
+
+        Replaces the coordinator's identifier reference and adopts the
+        bundle's epoch watermark.  The caller (normally
+        :meth:`repro.api.GatewayHandle.swap_bundle`) is responsible for
+        swapping the same identifier into the dispatcher and the security
+        service -- the coordinator cannot reach objects that merely point
+        at the old identifier.  Returns the replaced identifier.
+        """
+        previous = self.identifier
+        self.identifier = identifier
+        self.adopt_epoch(generation)
+        return previous
 
     # ------------------------------------------------------------------ #
     # Epoch-aware persistence.

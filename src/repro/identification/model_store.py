@@ -356,6 +356,26 @@ def bundle_epoch(path: Union[str, Path]) -> Optional[int]:
     return meta.get("epoch")
 
 
+def bundle_info(path: Union[str, Path]) -> dict:
+    """A bundle's distribution-relevant metadata in one validated read.
+
+    Returns ``{"epoch", "revision", "schema_version", "device_types"}``
+    -- what the fleet distribution channel needs to watermark a push
+    (:meth:`repro.fleet.FleetCoordinator.push`) without rebuilding the
+    whole identifier.  The read still runs the full magic/schema/checksum
+    validation, so a corrupt bundle is rejected at *push* time instead of
+    on N gateways at apply time.
+    """
+    meta, _ = _read_bundle(path)
+    classifiers = meta.get("bank", {}).get("classifiers", [])
+    return {
+        "epoch": meta.get("epoch"),
+        "revision": int(meta.get("revision", 0)),
+        "schema_version": meta.get("schema_version"),
+        "device_types": [record["device_type"] for record in classifiers],
+    }
+
+
 # --------------------------------------------------------------------- #
 # Quarantine-log persistence.
 # --------------------------------------------------------------------- #

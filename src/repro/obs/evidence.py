@@ -18,13 +18,22 @@ meaning.  The wire form is canonical JSON -- sorted keys, no whitespace --
 so identical facts serialise to identical bytes (the determinism suite
 relies on this).
 
-Five record kinds cover the serving path:
+Seven record kinds cover the serving path and the fleet control plane:
 
 * ``"verdict"`` -- one identification leaving the pipeline;
 * ``"enforcement"`` -- a gateway rule installed or replaced;
 * ``"quarantine"`` -- an unknown device parked, released or discarded;
 * ``"learn"`` -- a runtime type registration (fleet re-identification);
-* ``"promotion"`` -- a provisional label cleared by operator review.
+* ``"promotion"`` -- a provisional label cleared by operator review;
+* ``"push"`` -- a model bundle published to the fleet distribution
+  channel, watermarked with the epoch it carries;
+* ``"apply"`` -- one gateway installing (or idempotently skipping) a
+  pushed bundle via hot swap.
+
+Adding the push/apply kinds was an additive vocabulary change: the key
+layout is untouched, so the schema version stays 1 (a v1 reader that
+predates the fleet layer rejects the new kinds loudly rather than
+misreading them).
 """
 
 from __future__ import annotations
@@ -44,6 +53,8 @@ KIND_ENFORCEMENT = "enforcement"
 KIND_QUARANTINE = "quarantine"
 KIND_LEARN = "learn"
 KIND_PROMOTION = "promotion"
+KIND_PUSH = "push"
+KIND_APPLY = "apply"
 
 EVIDENCE_KINDS = (
     KIND_VERDICT,
@@ -51,6 +62,8 @@ EVIDENCE_KINDS = (
     KIND_QUARANTINE,
     KIND_LEARN,
     KIND_PROMOTION,
+    KIND_PUSH,
+    KIND_APPLY,
 )
 
 #: ``detail["transition"]`` values of quarantine records.

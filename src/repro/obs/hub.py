@@ -24,9 +24,11 @@ from repro.features.fingerprint import fingerprint_key
 from repro.identification.model_store import legacy_fallback_counts
 from repro.obs.evidence import (
     EVIDENCE_KINDS,
+    KIND_APPLY,
     KIND_ENFORCEMENT,
     KIND_LEARN,
     KIND_PROMOTION,
+    KIND_PUSH,
     KIND_QUARANTINE,
     KIND_VERDICT,
     EvidenceRecord,
@@ -61,7 +63,7 @@ class Observability:
     Example:
         >>> hub = Observability()
         >>> sorted(k for k in hub.snapshot() if k.startswith("ledger."))[:2]
-        ['ledger.enforcement_records', 'ledger.learn_records']
+        ['ledger.apply_records', 'ledger.enforcement_records']
     """
 
     def __init__(
@@ -130,6 +132,7 @@ class Observability:
                 "last_batch_seconds": stats.last_batch_seconds,
                 "largest_batch": stats.largest_batch,
                 "linger_flushes": stats.linger_flushes,
+                "swaps": stats.swaps,
             }
 
         def queue_source():
@@ -357,6 +360,63 @@ class Observability:
                     "snapshot_path": str(report.snapshot_path)
                     if report.snapshot_path is not None
                     else None,
+                },
+            )
+        )
+
+    def record_push(
+        self,
+        push_id: int,
+        bundle_path: str,
+        epoch: int,
+        revision: int,
+        duplicate: bool = False,
+        note: str = "",
+        stream_time: float = 0.0,
+    ) -> None:
+        """A model bundle published to the fleet distribution channel."""
+        self._emit(
+            EvidenceRecord(
+                kind=KIND_PUSH,
+                stream_time=stream_time,
+                identifier_revision=revision,
+                cache_epoch=epoch,
+                detail={
+                    "push_id": push_id,
+                    "bundle_path": bundle_path,
+                    "duplicate": duplicate,
+                    "note": note,
+                },
+            )
+        )
+
+    def record_apply(
+        self,
+        gateway: str,
+        epoch: int,
+        revision: int,
+        applied: bool,
+        push_id: Optional[int] = None,
+        reason: str = "",
+        stream_time: float = 0.0,
+    ) -> None:
+        """One gateway installing (or idempotently skipping) a pushed bundle.
+
+        ``applied=False`` marks the counted no-op of a replayed/duplicate
+        push -- the record is still emitted so the ledger shows the
+        gateway *saw* the push, which is what a convergence audit needs.
+        """
+        self._emit(
+            EvidenceRecord(
+                kind=KIND_APPLY,
+                stream_time=stream_time,
+                identifier_revision=revision,
+                cache_epoch=epoch,
+                detail={
+                    "gateway": gateway,
+                    "push_id": push_id,
+                    "applied": applied,
+                    "reason": reason,
                 },
             )
         )

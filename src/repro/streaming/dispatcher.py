@@ -162,6 +162,7 @@ class DispatcherStats:
     last_batch_seconds: float = 0.0
     largest_batch: int = 0
     linger_flushes: int = 0
+    swaps: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -250,6 +251,24 @@ class BatchDispatcher:
         if len(self.queue) >= self.max_batch:
             results.extend(self._run_batch())
         return results
+
+    def swap_identifier(self, identifier: DeviceTypeIdentifier) -> DeviceTypeIdentifier:
+        """Install a new identifier between batches (hot model swap).
+
+        Fingerprints already staged in the queue are *not* dropped: they
+        are identified by the next batch run, which uses the new
+        identifier (and therefore stamps its verdicts with the new
+        ``revision``).  Verdicts delivered before the swap keep the old
+        revision.  Cache invalidation is the caller's responsibility --
+        the fleet layer advances the shared
+        :class:`~repro.identification.lifecycle.CacheEpoch` to the pushed
+        bundle's watermark, which makes every pre-swap cache entry
+        unreachable.  Returns the replaced identifier.
+        """
+        previous = self.identifier
+        self.identifier = identifier
+        self.stats.swaps += 1
+        return previous
 
     def poll(self, now: float) -> list[IdentifiedDevice]:
         """Flush a partial batch if the oldest fingerprint lingered too long.

@@ -20,12 +20,17 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
+from repro.exceptions import SimulationError
 from repro.gateway.security_gateway import SecurityGateway
-from repro.identification.identifier import UNKNOWN_DEVICE_TYPE
+from repro.identification.identifier import UNKNOWN_DEVICE_TYPE, DeviceTypeIdentifier
 from repro.identification.lifecycle import LifecycleCoordinator
 from repro.security_service.service import IoTSecurityService
 from repro.simulation.clock import SimulatedClock
-from repro.streaming.assembler import AssemblerStats, ShardedFingerprintAssembler
+from repro.streaming.assembler import (
+    AssemblerStats,
+    ReadyFingerprint,
+    ShardedFingerprintAssembler,
+)
 from repro.streaming.dispatcher import (
     BatchDispatcher,
     DispatcherStats,
@@ -122,9 +127,21 @@ class StreamingPipeline:
         if self.observability is not None:
             # A hub handed to the pipeline covers its dispatcher too (and
             # vice versa): the identify-batch histogram must fire whichever
-            # constructor the hub was attached through.
+            # constructor the hub was attached through.  Adoption order
+            # (pinned by the streaming regression suite): a dispatcher-only
+            # hub is adopted by the pipeline, a pipeline-only hub is handed
+            # down to the dispatcher, and two *different* hubs are refused
+            # outright -- split-brain observability would scatter one
+            # gateway's evidence across two ledgers.  The build_gateway()
+            # facade sidesteps the question by single-sourcing the hub.
             if dispatcher.observability is None:
                 dispatcher.observability = self.observability
+            elif dispatcher.observability is not self.observability:
+                raise SimulationError(
+                    "pipeline and dispatcher were given two different "
+                    "observability hubs; wire one hub through both "
+                    "(or use repro.api.build_gateway, which single-sources it)"
+                )
             self.observability.register_pipeline(self)
         self.stats = PipelineStats()
         self._next_eviction = self.clock.now() + eviction_interval
@@ -194,6 +211,41 @@ class StreamingPipeline:
         identified.extend(self.dispatcher.poll(now))
         self._deliver(identified)
         return identified
+
+    def inject(self, ready: ReadyFingerprint) -> list[IdentifiedDevice]:
+        """Feed one pre-assembled fingerprint straight into dispatch.
+
+        Bypasses the assembler (the fingerprint is already complete --
+        e.g. handed over by an operator tool or a re-profiling capture)
+        but keeps every downstream guarantee: batching, caching, ledger
+        records and sink delivery are identical to the packet path.
+        """
+        self.stats.fingerprints += 1
+        identified = self.dispatcher.submit(ready)
+        identified.extend(self.dispatcher.poll(self.clock.now()))
+        self._deliver(identified)
+        return identified
+
+    def swap_identifier(
+        self, identifier: DeviceTypeIdentifier, epoch: Optional[int] = None
+    ) -> DeviceTypeIdentifier:
+        """Hot-swap the serving model between batches (fleet push apply).
+
+        Delegates to :meth:`BatchDispatcher.swap_identifier` -- in-flight
+        fingerprints stay queued and are identified by the new model --
+        and, when ``epoch`` is given, advances the dispatcher cache's
+        generation to the pushed bundle's watermark so every pre-swap
+        verdict becomes unreachable (the PR 3 invalidation path).  The
+        returned value is the replaced identifier.  Callers with a
+        lifecycle coordinator should prefer
+        :meth:`repro.api.GatewayHandle.swap_bundle`, which also adopts
+        the epoch into the coordinator and records the apply event.
+        """
+        previous = self.dispatcher.swap_identifier(identifier)
+        cache = self.dispatcher.cache
+        if epoch is not None and cache is not None:
+            cache.epoch.advance_to(epoch)
+        return previous
 
     def finish(self) -> list[IdentifiedDevice]:
         """Flush the assembler and drain the dispatcher (end of stream)."""

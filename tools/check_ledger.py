@@ -31,7 +31,7 @@ import sys
 from pathlib import Path
 
 SCHEMA_VERSION = 1
-KINDS = {"verdict", "enforcement", "quarantine", "learn", "promotion"}
+KINDS = {"verdict", "enforcement", "quarantine", "learn", "promotion", "push", "apply"}
 RECORD_KEYS = {
     "schema",
     "sequence",
@@ -87,6 +87,13 @@ def check_record(payload: object, where: str, errors: list[str]) -> dict | None:
         for field in ("fingerprint_key", "identifier_revision", "verdict", "mac"):
             if payload.get(field) is None:
                 errors.append(f"{where}: verdict record missing {field}")
+    if kind in ("push", "apply"):
+        # Fleet-distribution records must be auditable: which model
+        # (revision), which watermark (cache_epoch), and the channel
+        # detail (push id, bundle path / gateway, applied flag).
+        for field in ("identifier_revision", "cache_epoch", "detail"):
+            if payload.get(field) is None:
+                errors.append(f"{where}: {kind} record missing {field}")
     return payload
 
 
