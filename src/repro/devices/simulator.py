@@ -188,6 +188,11 @@ class _RunContext:
 
     def _emit(self, packet: Packet) -> Packet:
         packet.timestamp = self.clock
+        # Stamp the on-wire size once at build time: `Packet.size` otherwise
+        # re-serialises the whole layer tree on every feature extraction,
+        # which profiling showed dominating the streaming assemble stage.
+        # (Replayed clones only rewrite the source MAC -- same length.)
+        packet.wire_length = len(packet.to_bytes())
         self.advance(float(self._rng.uniform(0.005, 0.05)))
         return packet
 

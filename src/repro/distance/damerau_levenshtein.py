@@ -39,9 +39,184 @@ Empty-sequence semantics (documented contract):
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import Hashable, Optional, Sequence
+
+import numpy as np
 
 from repro.exceptions import FingerprintError
+
+
+class SymbolInterner:
+    """An append-only mapping of hashable symbols to dense integer codes.
+
+    The batch edit-distance kernel compares *codes* instead of symbols, so
+    every sequence entering it must be encoded over one shared alphabet.
+    Codes are handed out in first-seen order and never recycled, which
+    makes encodings computed at different times mutually comparable: two
+    symbols are equal iff their codes are equal, forever.  The module-level
+    :data:`GLOBAL_INTERNER` is what the discrimination stage encodes
+    reference fingerprints through (their cached encodings stay valid for
+    the life of the process).
+    """
+
+    def __init__(self) -> None:
+        self._codes: dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def encode(self, symbols: Sequence[Hashable]) -> np.ndarray:
+        """Encode a symbol sequence to an int64 code array."""
+        codes = self._codes
+        out = np.empty(len(symbols), dtype=np.int64)
+        for index, symbol in enumerate(symbols):
+            code = codes.get(symbol)
+            if code is None:
+                code = len(codes)
+                codes[symbol] = code
+            out[index] = code
+        return out
+
+
+#: The process-wide alphabet shared by every batch-kernel caller.
+GLOBAL_INTERNER = SymbolInterner()
+
+
+def damerau_levenshtein_matrix(
+    query: np.ndarray, references: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Distances of one encoded query against many encoded references.
+
+    All inputs are integer code arrays produced by one shared
+    :class:`SymbolInterner`.  The dynamic program runs once over the query
+    axis with every reference advanced in lockstep as a numpy matrix: for
+    each query row the deletion/substitution/transposition candidates are
+    computed in one vectorised step and the insertion recurrence
+    ``current[j] = min(current[j-1] + 1, cand[j])`` is folded with the
+    prefix-minimum identity ``current[j] = min_{k<=j}(cand[k] + j - k)``
+    (a single ``minimum.accumulate``), so no per-cell Python executes.
+
+    Returns one absolute Damerau-Levenshtein distance per reference, as an
+    int64 array, bitwise-equal to calling :func:`damerau_levenshtein` per
+    pair (the differential property suite asserts this).
+    """
+    lengths = np.array([len(reference) for reference in references], dtype=np.int64)
+    count = len(references)
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    m = len(query)
+    if m == 0:
+        return lengths.copy()
+    max_len = int(lengths.max())
+    if max_len == 0:
+        return np.full(count, m, dtype=np.int64)
+
+    # Pad with -1: interner codes are non-negative, so padding never
+    # equals a query symbol and padded columns charge full substitution
+    # cost.  The answer is read at each reference's own length, so the
+    # padded tail never leaks into a result.
+    refs = np.full((count, max_len), -1, dtype=np.int64)
+    for row, reference in enumerate(references):
+        if len(reference):
+            refs[row, : len(reference)] = reference
+
+    offsets = np.arange(max_len + 1, dtype=np.int64)
+    previous = np.broadcast_to(offsets, (count, max_len + 1)).copy()
+    previous_previous = np.zeros_like(previous)
+    candidate = np.empty_like(previous)
+    for i in range(1, m + 1):
+        symbol = query[i - 1]
+        # Deletion vs substitution, vectorised across every (ref, j) cell.
+        candidate[:, 0] = i
+        np.minimum(
+            previous[:, 1:] + 1,
+            previous[:, :-1] + (refs != symbol),
+            out=candidate[:, 1:],
+        )
+        if i > 1:
+            previous_symbol = query[i - 2]
+            # Adjacent transposition: q[i-2..i-1] crossed with ref[j-2..j-1].
+            swap = (refs[:, : max_len - 1] == symbol) & (refs[:, 1:] == previous_symbol)
+            np.minimum(
+                candidate[:, 2:],
+                np.where(swap, previous_previous[:, : max_len - 1] + 1, np.iinfo(np.int64).max),
+                out=candidate[:, 2:],
+            )
+        # Insertion as a prefix-minimum over candidate costs.
+        current = np.minimum.accumulate(candidate - offsets, axis=1) + offsets
+        previous_previous, previous, candidate = previous, current, previous_previous
+    return previous[np.arange(count), lengths]
+
+
+def normalized_distances(
+    query: np.ndarray,
+    query_length: int,
+    references: Sequence[np.ndarray],
+) -> list[float]:
+    """Batch counterpart of :func:`normalized_damerau_levenshtein`.
+
+    ``query``/``references`` are interned code arrays; ``query_length`` is
+    ``len(query)`` (passed explicitly so callers holding an encoded view
+    need not re-measure).  Pair semantics are identical to the scalar
+    function, including the empty-sequence contract: one empty side yields
+    exactly 1.0, an empty query against an empty reference raises
+    :class:`FingerprintError`.  Each result is the integer distance divided
+    by the longer length -- the same two machine numbers the scalar path
+    divides, so the floats are bitwise identical.
+    """
+    for reference in references:
+        if query_length == 0 and len(reference) == 0:
+            raise FingerprintError("cannot normalise the distance of two empty sequences")
+    distances = damerau_levenshtein_matrix(query, references)
+    return [
+        int(distance) / max(query_length, len(reference))
+        for distance, reference in zip(distances, references)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Self-contained deterministic draws (cross-numpy-version stability).
+# --------------------------------------------------------------------- #
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(state: int) -> tuple[int, int]:
+    """One step of the splitmix64 generator: ``(next_state, output)``.
+
+    The reference construction of Steele et al. (2014), implemented over
+    plain Python integers so the output stream depends on nothing but the
+    seed -- not the numpy version, not the platform word size.
+    """
+    state = (state + 0x9E3779B97F4A7C15) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return state, (z ^ (z >> 31)) & _MASK64
+
+
+def splitmix_subset(seed: int, population: int, size: int) -> tuple[int, ...]:
+    """Draw ``size`` distinct indices from ``range(population)``, sorted.
+
+    A partial Fisher-Yates shuffle driven by :func:`splitmix64`, with
+    modulo bias removed by rejection sampling.  This is the discrimination
+    stage's reference draw: self-contained, so the verdict stream survives
+    numpy upgrades that change ``Generator.choice`` internals.
+    """
+    if size >= population:
+        return tuple(range(population))
+    pool = list(range(population))
+    state = seed & _MASK64
+    for position in range(size):
+        remaining = population - position
+        # Rejection bound: the largest multiple of `remaining` below 2^64.
+        bound = _MASK64 + 1 - ((_MASK64 + 1) % remaining)
+        while True:
+            state, value = splitmix64(state)
+            if value < bound:
+                break
+        swap = position + (value % remaining)
+        pool[position], pool[swap] = pool[swap], pool[position]
+    return tuple(sorted(pool[:size]))
 
 
 def _intern(

@@ -37,7 +37,7 @@ content, so fingerprints can be extracted from encrypted traffic.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -49,6 +49,9 @@ from repro.net.layers import ssdp as ssdp_mod
 from repro.net.layers import tls as tls_mod
 from repro.net.layers.dhcp import DHCPMessage
 from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.net.batch import PacketBatch
 
 FEATURE_NAMES: tuple[str, ...] = (
     "arp",
@@ -127,13 +130,24 @@ class PacketFeatureExtractor:
         """Number of distinct destination IPs observed so far."""
         return len(self._dst_ip_counters)
 
-    def _dst_ip_counter(self, packet: Packet) -> int:
-        dst_ip = packet.dst_ip
+    def counter_for(self, dst_ip: Optional[str]) -> int:
+        """The order-of-first-contact counter of one destination token.
+
+        The incremental entry point shared by the per-packet and the
+        batched datapaths: the mapping advances on first contact exactly
+        as :meth:`extract` would have advanced it for the same packet.
+        """
         if dst_ip is None:
             return 0
-        if dst_ip not in self._dst_ip_counters:
-            self._dst_ip_counters[dst_ip] = len(self._dst_ip_counters) + 1
-        return self._dst_ip_counters[dst_ip]
+        counters = self._dst_ip_counters
+        counter = counters.get(dst_ip)
+        if counter is None:
+            counter = len(counters) + 1
+            counters[dst_ip] = counter
+        return counter
+
+    def _dst_ip_counter(self, packet: Packet) -> int:
+        return self.counter_for(packet.dst_ip)
 
     def extract(self, packet: Packet) -> np.ndarray:
         """Extract the 23-feature vector of a single packet."""
@@ -192,3 +206,63 @@ class PacketFeatureExtractor:
         if not packets:
             return np.zeros((0, FEATURE_COUNT), dtype=np.int64)
         return np.stack([self.extract(packet) for packet in packets])
+
+
+def batch_feature_matrix(batch: "PacketBatch") -> np.ndarray:
+    """The ``(len(batch), 23)`` feature matrix of a whole packet batch.
+
+    Every Table-I column is computed as one vectorised expression over the
+    batch's field arrays -- the same definitions as :meth:`extract`, just
+    without per-packet Python.  The stateful ``dst_ip_counter`` column is
+    left at zero: it depends on per-device first-contact order, so the
+    assembler fills it while walking each device's packets (see
+    :meth:`~repro.streaming.assembler.ShardedFingerprintAssembler.observe_batch`).
+    """
+    n = len(batch)
+    matrix = np.zeros((n, FEATURE_COUNT), dtype=np.int64)
+    if n == 0:
+        return matrix
+    src = batch.src_ports
+    dst = batch.dst_ports
+    is_tcp = batch.tcp
+    is_udp = batch.udp
+
+    def on_port(*ports: int) -> np.ndarray:
+        hit = np.zeros(n, dtype=bool)
+        for port in ports:
+            hit |= src == port
+            hit |= dst == port
+        return hit
+
+    matrix[:, FEATURE_INDEX["arp"]] = batch.arp
+    matrix[:, FEATURE_INDEX["llc"]] = batch.llc
+    matrix[:, FEATURE_INDEX["ip"]] = batch.ip
+    matrix[:, FEATURE_INDEX["icmp"]] = batch.icmp
+    matrix[:, FEATURE_INDEX["icmpv6"]] = batch.icmpv6
+    matrix[:, FEATURE_INDEX["eapol"]] = batch.eapol
+    matrix[:, FEATURE_INDEX["tcp"]] = is_tcp
+    matrix[:, FEATURE_INDEX["udp"]] = is_udp
+    matrix[:, FEATURE_INDEX["http"]] = is_tcp & on_port(*_HTTP_PORTS)
+    matrix[:, FEATURE_INDEX["https"]] = is_tcp & on_port(*_HTTPS_PORTS)
+    bootp = is_udp & on_port(*_BOOTP_PORTS)
+    matrix[:, FEATURE_INDEX["bootp"]] = bootp
+    matrix[:, FEATURE_INDEX["dhcp"]] = bootp & ~batch.app_not_dhcp
+    matrix[:, FEATURE_INDEX["ssdp"]] = is_udp & on_port(ssdp_mod.PORT_SSDP)
+    matrix[:, FEATURE_INDEX["dns"]] = (is_udp | is_tcp) & on_port(dns_mod.PORT_DNS)
+    matrix[:, FEATURE_INDEX["mdns"]] = is_udp & on_port(dns_mod.PORT_MDNS)
+    matrix[:, FEATURE_INDEX["ntp"]] = is_udp & on_port(ntp_mod.PORT_NTP)
+    matrix[:, FEATURE_INDEX["ip_option_padding"]] = batch.has_padding
+    matrix[:, FEATURE_INDEX["ip_option_router_alert"]] = batch.has_router_alert
+    matrix[:, FEATURE_INDEX["packet_size"]] = batch.sizes
+    matrix[:, FEATURE_INDEX["raw_data"]] = batch.raw_data
+    for name, ports in (("src_port_class", src), ("dst_port_class", dst)):
+        matrix[:, FEATURE_INDEX[name]] = np.where(
+            ports < 0,
+            PORT_CLASS_NONE,
+            np.where(
+                ports <= 1023,
+                PORT_CLASS_WELL_KNOWN,
+                np.where(ports <= 49151, PORT_CLASS_REGISTERED, PORT_CLASS_DYNAMIC),
+            ),
+        )
+    return matrix

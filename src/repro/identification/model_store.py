@@ -56,7 +56,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.distance.discrimination import EditDistanceDiscriminator
+from repro.distance.discrimination import NUMPY_DRAW, EditDistanceDiscriminator
 from repro.exceptions import ModelError, ModelStoreError
 from repro.features.fingerprint import Fingerprint
 from repro.identification.classifier_bank import ClassifierBank, DeviceTypeClassifier
@@ -72,13 +72,18 @@ STORE_MAGIC = "iot-sentinel-model-store"
 #: Version 3 dropped the discriminator rng-state capture (reference
 #: selection is deterministic per fingerprint) and added the identifier
 #: ``revision`` (the discrimination draw salt) to the metadata.
-SCHEMA_VERSION = 3
+#: Version 4 records the discriminator's ``draw`` algorithm (the
+#: self-contained splitmix64 draw vs the legacy numpy ``Generator.choice``
+#: draw), so verdict streams survive numpy upgrades.
+SCHEMA_VERSION = 4
 
 #: Versions this build can still read.  Version 1 bundles predate the
 #: epoch stamp (an additive change); they load with ``epoch=None``.
-#: Version 1/2 bundles carry a discriminator rng state that v3 runtimes
-#: discard -- see :func:`legacy_fallback_counts`.
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
+#: Version 1/2 bundles carry a discriminator rng state that v3+ runtimes
+#: discard -- see :func:`legacy_fallback_counts`.  Version 3 bundles
+#: predate the ``draw`` field and load with the legacy numpy draw, so
+#: their historical verdict streams replay unchanged.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 
 # --------------------------------------------------------------------- #
@@ -551,6 +556,7 @@ def save_identifier(
     discriminator_meta = {
         "references_per_type": identifier.discriminator.references_per_type,
         "selection": identifier.discriminator.selection,
+        "draw": identifier.discriminator.draw,
     }
     if not identifier.discriminator.is_deterministic:
         discriminator_meta["rng_state"] = _rng_state(identifier.discriminator.rng)
@@ -627,9 +633,14 @@ def load_identifier_with_epoch(
                     RuntimeWarning,
                     stacklevel=2,
                 )
+            # Schema v3 and earlier predate the ``draw`` field: those
+            # bundles were trained under the numpy ``Generator.choice``
+            # reference draw, which stays pinned so their verdict
+            # streams replay byte-for-byte.
             discriminator = EditDistanceDiscriminator(
                 references_per_type=discriminator_meta["references_per_type"],
                 selection=selection,
+                draw=discriminator_meta.get("draw", NUMPY_DRAW),
             )
         novelty_threshold = meta["novelty_threshold"]
         revision = int(meta.get("revision", 0))

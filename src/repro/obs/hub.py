@@ -84,6 +84,13 @@ class Observability:
         self._assembler_flush_seconds = self.metrics.histogram(
             "pipeline.assembler_flush_seconds"
         )
+        # Per-stage latency of the columnar datapath (one observe per
+        # PacketBatch) so the *next* bottleneck is visible in snapshot().
+        self._parse_batch_seconds = self.metrics.histogram("pipeline.parse_batch_seconds")
+        self._assemble_batch_seconds = self.metrics.histogram(
+            "pipeline.assemble_batch_seconds"
+        )
+        self._score_batch_seconds = self.metrics.histogram("pipeline.score_batch_seconds")
         # Legacy-bundle fallbacks are process-global (see model_store);
         # surfaced here so a reproducibility audit reads one snapshot.
         self.metrics.register_source("model_store", legacy_fallback_counts)
@@ -112,6 +119,18 @@ class Observability:
     def observe_assembler_flush(self, seconds: float) -> None:
         """One end-of-stream assembler flush."""
         self._assembler_flush_seconds.observe(seconds)
+
+    def observe_parse_batch(self, seconds: float) -> None:
+        """One PacketBatch built from raw frames or packet objects."""
+        self._parse_batch_seconds.observe(seconds)
+
+    def observe_assemble_batch(self, seconds: float) -> None:
+        """One batched assembler pass (feature matrix + per-device fold)."""
+        self._assemble_batch_seconds.observe(seconds)
+
+    def observe_score_batch(self, seconds: float) -> None:
+        """One batched dispatch round (submit + poll) of a PacketBatch."""
+        self._score_batch_seconds.observe(seconds)
 
     # ------------------------------------------------------------------ #
     # Source wiring (pull model; registration is idempotent per prefix).

@@ -46,8 +46,10 @@ from repro.streaming.sources import (
     PcapReplaySource,
     SimulatedSource,
     interleave_traces,
+    iter_packet_batches,
     replay_trace,
 )
+from repro.streaming.workers import ParallelShardAssembler
 
 __all__ = [
     "AssemblerStats",
@@ -70,5 +72,7 @@ __all__ = [
     "PcapReplaySource",
     "SimulatedSource",
     "interleave_traces",
+    "iter_packet_batches",
     "replay_trace",
+    "ParallelShardAssembler",
 ]

@@ -19,6 +19,7 @@ from repro.devices.catalog import DEVICE_CATALOG, profile_of
 from repro.devices.simulator import SetupTrace, SetupTrafficSimulator
 from repro.exceptions import SimulationError
 from repro.net.addresses import MACAddress
+from repro.net.batch import PacketBatch
 from repro.net.packet import Packet
 from repro.net.pcap import PcapReader
 
@@ -55,6 +56,22 @@ class PcapReplaySource:
 
     def packets(self) -> Iterator[Packet]:
         yield from PcapReader(self.path).packets()
+
+    def packet_batches(self, batch_size: int = 256) -> Iterator[PacketBatch]:
+        """Columnar fast path: raw frames go straight into PacketBatches.
+
+        No :class:`~repro.net.packet.Packet` objects are built for frames
+        the struct-batched parser handles; the per-packet view stays
+        available via :meth:`PacketBatch.packet` (lazy dissection).
+        """
+        chunk: list = []
+        for captured in PcapReader(self.path):
+            chunk.append(captured)
+            if len(chunk) >= batch_size:
+                yield PacketBatch.from_frames(chunk)
+                chunk = []
+        if chunk:
+            yield PacketBatch.from_frames(chunk)
 
 
 class SimulatedSource:
@@ -98,6 +115,30 @@ class SimulatedSource:
 
     def __len__(self) -> int:
         return sum(len(trace) for trace in self.traces)
+
+
+def iter_packet_batches(source: PacketSource, batch_size: int = 256) -> Iterator[PacketBatch]:
+    """Adapt any :class:`PacketSource` into a stream of PacketBatches.
+
+    Sources exposing a native ``packet_batches`` method (the pcap replay
+    adapter's zero-object fast path) are used directly; everything else is
+    chunked through :meth:`PacketBatch.from_packets`, one attribute-read
+    pass per batch.
+    """
+    if batch_size <= 0:
+        raise SimulationError(f"batch size must be positive, got {batch_size}")
+    native = getattr(source, "packet_batches", None)
+    if native is not None:
+        yield from native(batch_size)
+        return
+    chunk: list[Packet] = []
+    for packet in source.packets():
+        chunk.append(packet)
+        if len(chunk) >= batch_size:
+            yield PacketBatch.from_packets(chunk)
+            chunk = []
+    if chunk:
+        yield PacketBatch.from_packets(chunk)
 
 
 def interleave_traces(traces: Iterable[SetupTrace]) -> Iterator[Packet]:

@@ -1,0 +1,251 @@
+"""Multi-process shard workers behind the assembler's sharding scheme.
+
+The single-process assembler already partitions devices into
+``hash(mac) % shards`` buckets precisely so the partition can later be
+split across workers without re-keying (see
+:class:`~repro.streaming.assembler.ShardedFingerprintAssembler`).  This
+module is that split: :class:`ParallelShardAssembler` runs ``workers``
+child processes, each owning one single-bucket assembler, and routes every
+device group of an incoming :class:`~repro.net.batch.PacketBatch` to the
+worker its MAC hashes to.  Because :class:`~repro.net.addresses.MACAddress`
+hashes on its integer value, the routing is identical in every process and
+under every ``PYTHONHASHSEED``.
+
+Determinism is preserved by construction:
+
+* a device's packets all hash to one worker, which folds them in stream
+  order with the same :meth:`observe_batch_indexed` the in-process path
+  uses -- so every fingerprint matrix is bitwise-identical;
+* workers tag each emission with the in-batch index of its trigger
+  packet, and the facade merges the per-worker emission lists by that
+  global index -- so the emission *order* equals the single-process
+  order, not the workers' completion order.
+
+What crosses the pipe per dispatch is six flat arrays and a token list
+(:meth:`PacketBatch.take` with ``with_backing=False``), never the packet
+object trees, keeping pickling cost proportional to the columns.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.net.addresses import MACAddress
+from repro.net.batch import PacketBatch
+from repro.net.packet import Packet
+from repro.streaming.assembler import (
+    AssemblerStats,
+    ReadyFingerprint,
+    ShardedFingerprintAssembler,
+)
+
+
+def _worker_main(connection, assembler_kwargs: dict) -> None:
+    """Child-process loop: one single-bucket assembler, a command pipe.
+
+    Commands are ``(verb, *payload)`` tuples; every command produces
+    exactly one reply, so the parent can interleave sends to all workers
+    before collecting replies (true parallel assembly).
+    """
+    assembler = ShardedFingerprintAssembler(shards=1, **assembler_kwargs)
+    while True:
+        try:
+            command = connection.recv()
+        except EOFError:  # parent died; nothing left to assemble for
+            break
+        verb = command[0]
+        if verb == "observe":
+            connection.send(assembler.observe_batch_indexed(command[1]))
+        elif verb == "evict":
+            connection.send(assembler.evict_idle(command[1]))
+        elif verb == "flush":
+            connection.send(assembler.flush(command[1]))
+        elif verb == "stats":
+            connection.send((assembler.stats, assembler.active_devices))
+        elif verb == "close":
+            connection.send(None)
+            break
+        else:  # pragma: no cover - protocol misuse guard
+            connection.send(SimulationError(f"unknown worker command: {verb!r}"))
+
+
+class ParallelShardAssembler:
+    """Drop-in assembler facade fanning shards out to worker processes.
+
+    Exposes the surface the :class:`~repro.streaming.pipeline.StreamingPipeline`
+    drives -- ``observe``/``observe_batch``/``evict_idle``/``flush``/
+    ``stats``/``shards`` -- so swapping it in needs no pipeline changes:
+    eviction sweeps rotate over workers exactly as they rotate over
+    buckets in-process.
+
+    Worth knowing before reaching for it: the Python work a worker saves
+    must outweigh one pickle round-trip per dispatch, so this pays off for
+    sustained high device counts per batch, not for the small streams the
+    unit tests replay.  Use :meth:`close` (or the context-manager form)
+    when done; an unclosed facade reaps its children in ``__del__`` as a
+    best effort.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        start_method: Optional[str] = None,
+        **assembler_kwargs,
+    ):
+        if workers <= 0:
+            raise SimulationError(f"worker count must be positive, got {workers}")
+        self.shards = workers
+        # The same knobs as ShardedFingerprintAssembler minus `shards`
+        # (each child is its own single bucket).
+        if "shards" in assembler_kwargs:
+            raise SimulationError("pass workers=, not shards=, to ParallelShardAssembler")
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        context = mp.get_context(start_method)
+        self._connections = []
+        self._processes = []
+        for _ in range(workers):
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_worker_main, args=(child_end, assembler_kwargs), daemon=True
+            )
+            process.start()
+            child_end.close()
+            self._connections.append(parent_end)
+            self._processes.append(process)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Routing (identical to the in-process assembler's).
+    # ------------------------------------------------------------------ #
+    def shard_of(self, mac: MACAddress) -> int:
+        return hash(mac) % self.shards
+
+    # ------------------------------------------------------------------ #
+    # Stream input.
+    # ------------------------------------------------------------------ #
+    def observe(self, packet: Packet) -> Optional[ReadyFingerprint]:
+        """Single-packet compatibility path (a one-packet batch)."""
+        ready = self.observe_batch(PacketBatch.from_packets([packet]))
+        return ready[0] if ready else None
+
+    def observe_batch(self, batch: PacketBatch) -> list[ReadyFingerprint]:
+        return [ready for _, ready in self.observe_batch_indexed(batch)]
+
+    def observe_batch_indexed(
+        self, batch: PacketBatch
+    ) -> list[tuple[int, ReadyFingerprint]]:
+        """Fan the batch out by shard, merge emissions by trigger index."""
+        self._ensure_open()
+        if len(batch) == 0:
+            return []
+        # Partition device groups across workers; concatenating a worker's
+        # group index arrays and sorting restores stream order for the
+        # packets that worker owns.
+        per_worker: list[list[np.ndarray]] = [[] for _ in range(self.shards)]
+        for mac_value, indices in batch.device_runs():
+            per_worker[self.shard_of(MACAddress(mac_value))].append(indices)
+        dispatched: list[tuple[int, np.ndarray]] = []
+        for worker, groups in enumerate(per_worker):
+            if not groups:
+                continue
+            indices = np.sort(np.concatenate(groups))
+            self._connections[worker].send(
+                ("observe", batch.take(indices, with_backing=False))
+            )
+            dispatched.append((worker, indices))
+        emissions: list[tuple[int, ReadyFingerprint]] = []
+        for worker, indices in dispatched:
+            for local_index, ready in self._connections[worker].recv():
+                emissions.append((int(indices[local_index]), ready))
+        emissions.sort(key=lambda pair: pair[0])
+        return emissions
+
+    # ------------------------------------------------------------------ #
+    # Eviction, flushing, stats.
+    # ------------------------------------------------------------------ #
+    def evict_idle(self, now: float, shard: Optional[int] = None) -> list[ReadyFingerprint]:
+        self._ensure_open()
+        workers = range(self.shards) if shard is None else [shard % self.shards]
+        for worker in workers:
+            self._connections[worker].send(("evict", now))
+        ready: list[ReadyFingerprint] = []
+        for worker in workers:
+            ready.extend(self._connections[worker].recv())
+        return ready
+
+    def flush(self, now: float = 0.0) -> list[ReadyFingerprint]:
+        self._ensure_open()
+        for connection in self._connections:
+            connection.send(("flush", now))
+        ready: list[ReadyFingerprint] = []
+        for connection in self._connections:
+            ready.extend(connection.recv())
+        return ready
+
+    @property
+    def stats(self) -> AssemblerStats:
+        """Aggregated lifetime counters across every worker."""
+        self._ensure_open()
+        for connection in self._connections:
+            connection.send(("stats",))
+        total = AssemblerStats()
+        self._active_devices = 0
+        for connection in self._connections:
+            stats, active = connection.recv()
+            total.packets_observed += stats.packets_observed
+            total.fingerprints_emitted += stats.fingerprints_emitted
+            total.budget_emissions += stats.budget_emissions
+            total.idle_emissions += stats.idle_emissions
+            total.flush_emissions += stats.flush_emissions
+            total.min_signal_drops += stats.min_signal_drops
+            self._active_devices += active
+        return total
+
+    @property
+    def active_devices(self) -> int:
+        self.stats  # refreshes the cached per-worker device counts
+        return self._active_devices
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle.
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for connection in self._connections:
+            try:
+                connection.send(("close",))
+                connection.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            connection.close()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SimulationError("ParallelShardAssembler is closed")
+
+    def __enter__(self) -> "ParallelShardAssembler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+__all__ = ["ParallelShardAssembler"]

@@ -99,16 +99,34 @@ class TestIdentifierRoundTrip:
 
 
 class TestSchemaV3:
-    def test_v3_bundle_has_no_discriminator_rng_state(
+    def test_v4_bundle_has_no_discriminator_rng_state(
         self, trained_identifier, bundle_path
     ):
         save_identifier(bundle_path, trained_identifier)
         with np.load(bundle_path, allow_pickle=False) as archive:
             meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
-        assert meta["schema_version"] == SCHEMA_VERSION == 3
+        assert meta["schema_version"] == SCHEMA_VERSION == 4
         assert "rng_state" not in meta["discriminator"]
         assert meta["discriminator"]["selection"] == "deterministic"
+        assert meta["discriminator"]["draw"] == "splitmix64"
         assert meta["revision"] == trained_identifier.revision
+
+    def test_v3_bundle_without_draw_field_loads_with_numpy_draw(
+        self, trained_identifier, bundle_path, tmp_path
+    ):
+        """Schema-v3 bundles predate the draw field: their historical
+        numpy ``Generator.choice`` reference draw stays pinned on load."""
+        save_identifier(bundle_path, trained_identifier)
+        legacy = tmp_path / "v3.npz"
+
+        def downgrade(meta):
+            meta["schema_version"] = 3
+            meta["discriminator"].pop("draw")
+
+        rewrite_bundle(bundle_path, legacy, downgrade)
+        loaded = load_identifier(legacy)
+        assert loaded.discriminator.draw == "numpy"
+        assert loaded.discriminator.is_deterministic
 
     def test_legacy_v2_bundle_loads_with_explicit_migration(
         self, trained_identifier, bundle_path, tmp_path
