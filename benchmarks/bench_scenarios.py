@@ -1,0 +1,107 @@
+"""Hostile-campaign wall time: the cost of running the scenario gate.
+
+Each stock campaign in :mod:`repro.scenarios` is a full ``build_gateway``
+stack under attack, so its runtime bounds how often the scenario-smoke
+gate can run in CI.  This benchmark times one seeded pass of every
+campaign (quick mode trims the device population, not the scenario
+shape) and reports the suite wall time as the headline of
+``BENCH_scenarios.json``.
+
+Checked properties (the perf run doubles as a contract run):
+
+* every campaign's reconciliation flags hold -- timing pressure must not
+  be bought by skipping the evidence accounting;
+* a second pass of one campaign at the same seed is byte-identical over
+  the artifact digests (the determinism contract, measured hot).
+
+Wall-clock numbers are reported, not asserted.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.scenarios import (
+    BurstOverload,
+    DhcpChurnCampaign,
+    FirmwareDriftCampaign,
+    MacRandomizationStorm,
+    MimicryCampaign,
+    artifact_digests,
+)
+
+from benchmarks.conftest import BENCH_QUICK, BENCH_SEED, make_section_reporter
+
+KNOBS = (
+    dict(trained_types=("Aria", "HueBridge", "EdnetCam"), runs_per_type=4)
+    if BENCH_QUICK
+    else dict(runs_per_type=8)
+)
+
+#: The benchmarks in this file merge into BENCH_scenarios.json.
+_report = make_section_reporter("scenarios")
+
+
+def make_campaigns():
+    return [
+        MimicryCampaign(**KNOBS),
+        MacRandomizationStorm(joins=5 if BENCH_QUICK else 8, **KNOBS),
+        FirmwareDriftCampaign(
+            fleet_size=2 if BENCH_QUICK else 3,
+            retype_device="HueBridge",
+            **KNOBS,
+        ),
+        DhcpChurnCampaign(**KNOBS),
+        BurstOverload(devices=10 if BENCH_QUICK else 24, **KNOBS),
+    ]
+
+
+def test_campaign_wall_time(benchmark, bench_report, tmp_path):
+    campaigns = make_campaigns()
+
+    timings: dict[str, float] = {}
+    reports = {}
+
+    def run_suite():
+        for campaign in campaigns:
+            start = time.perf_counter()
+            report = campaign.run(seed=BENCH_SEED, out_dir=tmp_path / "suite")
+            timings[campaign.name] = time.perf_counter() - start
+            reports[campaign.name] = report
+
+    suite_start = time.perf_counter()
+    benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    suite_seconds = time.perf_counter() - suite_start
+
+    # The perf pass is also a contract pass: accounting must reconcile.
+    for name, report in reports.items():
+        for flag, value in report.metrics["reconciliation"].items():
+            assert value is True, f"{name}: reconciliation flag {flag} failed"
+
+    # Determinism, measured hot: rerun one campaign at the same seed.
+    rerun_start = time.perf_counter()
+    rerun = DhcpChurnCampaign(**KNOBS).run(seed=BENCH_SEED, out_dir=tmp_path / "rerun")
+    rerun_seconds = time.perf_counter() - rerun_start
+    assert artifact_digests(rerun.run_dir) == artifact_digests(
+        reports["dhcp-churn"].run_dir
+    )
+
+    print()
+    print("Hostile-campaign suite (one seeded pass per scenario)")
+    for name, seconds in sorted(timings.items()):
+        print(f"  {name:28s} {seconds * 1000:8.1f} ms")
+    print(f"  {'suite total':28s} {suite_seconds * 1000:8.1f} ms")
+    print(f"  {'determinism rerun':28s} {rerun_seconds * 1000:8.1f} ms")
+
+    _report(
+        bench_report,
+        "campaigns",
+        {
+            "suite_seconds": round(suite_seconds, 4),
+            "per_campaign_seconds": {
+                name: round(seconds, 4) for name, seconds in timings.items()
+            },
+            "rerun_seconds": round(rerun_seconds, 4),
+            "quick_mode": BENCH_QUICK,
+        },
+    )

@@ -38,6 +38,10 @@ The package is organised in layers that mirror the paper's system design:
   convergence view.
 * :mod:`repro.eval` -- experiment runners that regenerate every table and
   figure of the paper's evaluation section.
+* :mod:`repro.scenarios` -- hostile-campaign harness: seeded adversarial
+  and churn scenarios (mimicry, MAC-randomization storms, firmware drift,
+  DHCP churn, burst overload) scored against the evidence ledger, with
+  byte-deterministic per-scenario artifacts.
 
 The most commonly used entry points of every layer are re-exported here;
 ``from repro import GatewayConfig, build_gateway`` is the intended way

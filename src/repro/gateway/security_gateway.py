@@ -160,7 +160,10 @@ class SecurityGateway:
         record = self.devices.pop(mac, None)
         if record is None:
             return
-        if record.ip_address:
+        # Only drop the IP mapping if it still belongs to this device: under
+        # DHCP churn the lease may already have been reassigned to another
+        # MAC, and popping unconditionally would evict the *new* owner.
+        if record.ip_address and self.ip_to_mac.get(record.ip_address) == mac:
             self.ip_to_mac.pop(record.ip_address, None)
         self.rule_cache.remove(mac)
         self.switch.remove_rules(f"enforce-{mac}")
@@ -169,6 +172,34 @@ class SecurityGateway:
         if self.lifecycle is not None:
             self.lifecycle.note_disconnected(mac)
 
+    def note_address_claim(
+        self, mac: MACAddress, ip_address: Optional[str], now: float = 0.0
+    ) -> DeviceRecord:
+        """Track one source-address claim on the datapath (DHCP/ARP churn).
+
+        Registers the device if needed, refreshes its last-seen stamp and
+        keeps ``ip_to_mac`` coherent under lease churn: when a device shows
+        up with a new address, the previous mapping is evicted *only if it
+        still points at this device* -- another device may have claimed the
+        old lease in the meantime, and its mapping must survive.  This is
+        the address-tracking half of :meth:`observe_setup_packet`, exposed
+        so streaming-path callers (which bypass the monitor) can drive the
+        same logic per packet.
+        """
+        record = self.connect_device(mac)
+        record.touch(now)
+        if ip_address and ip_address != "0.0.0.0":
+            previous_ip = record.ip_address
+            if (
+                previous_ip
+                and previous_ip != ip_address
+                and self.ip_to_mac.get(previous_ip) == mac
+            ):
+                del self.ip_to_mac[previous_ip]
+            record.ip_address = ip_address
+            self.ip_to_mac[ip_address] = mac
+        return record
+
     def observe_setup_packet(self, packet: Packet) -> Optional[DeviceRecord]:
         """Feed one setup-phase packet of a device being profiled.
 
@@ -176,21 +207,7 @@ class SecurityGateway:
         sent to the IoT Security Service and the resulting enforcement is
         applied; the updated device record is then returned.
         """
-        record = self.connect_device(packet.src_mac)
-        record.touch(packet.timestamp)
-        if packet.src_ip and packet.src_ip != "0.0.0.0":
-            # DHCP re-assignment: evict the previous IP's mapping (if it is
-            # still ours) so _destination_record cannot resolve the dead IP
-            # to this device after another device claims it.
-            previous_ip = record.ip_address
-            if (
-                previous_ip
-                and previous_ip != packet.src_ip
-                and self.ip_to_mac.get(previous_ip) == packet.src_mac
-            ):
-                del self.ip_to_mac[previous_ip]
-            record.ip_address = packet.src_ip
-            self.ip_to_mac[packet.src_ip] = packet.src_mac
+        record = self.note_address_claim(packet.src_mac, packet.src_ip, packet.timestamp)
         fingerprint = self.monitor.observe(packet)
         if fingerprint is None:
             return None

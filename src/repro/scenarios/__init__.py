@@ -1,0 +1,52 @@
+"""Adversarial & churn campaign harness (hostile-scenario subsystem).
+
+Named, seeded, declarative hostile campaigns over the full gateway
+stack, emitting deterministic per-scenario JSON/CSV evidence artifacts.
+See :mod:`repro.scenarios.base` for the artifact contract and
+``tools/check_scenarios.py`` for the stdlib-only CI gate.
+"""
+
+from .base import (
+    DEFAULT_TRAINED_TYPES,
+    PROVISIONAL_PREFIX,
+    SCENARIO_SCHEMA_VERSION,
+    Campaign,
+    CampaignOutcome,
+    ScenarioReport,
+    TruthRecord,
+    artifact_digests,
+    derive_seed,
+    scenario_run_name,
+    train_identifier,
+)
+from .campaigns import (
+    CAMPAIGNS,
+    BurstOverload,
+    DhcpChurnCampaign,
+    FirmwareDriftCampaign,
+    MacRandomizationStorm,
+    MimicryCampaign,
+)
+from .suite import ScenarioSuite, default_suite
+
+__all__ = [
+    "BurstOverload",
+    "CAMPAIGNS",
+    "Campaign",
+    "CampaignOutcome",
+    "DEFAULT_TRAINED_TYPES",
+    "DhcpChurnCampaign",
+    "FirmwareDriftCampaign",
+    "MacRandomizationStorm",
+    "MimicryCampaign",
+    "PROVISIONAL_PREFIX",
+    "SCENARIO_SCHEMA_VERSION",
+    "ScenarioReport",
+    "ScenarioSuite",
+    "TruthRecord",
+    "artifact_digests",
+    "default_suite",
+    "derive_seed",
+    "scenario_run_name",
+    "train_identifier",
+]

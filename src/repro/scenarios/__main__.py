@@ -1,0 +1,60 @@
+"""Run hostile campaigns from the command line.
+
+Examples::
+
+    python -m repro.scenarios --out runs/                 # full suite
+    python -m repro.scenarios --scenario mimicry --out runs/ --seed 7
+    python -m repro.scenarios --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .campaigns import CAMPAIGNS
+from .suite import ScenarioSuite
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run seeded hostile campaigns and emit evidence artifacts.",
+    )
+    parser.add_argument("--out", help="output directory for run artifacts")
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(CAMPAIGNS),
+        help="run only this scenario (repeatable; default: all)",
+    )
+    parser.add_argument("--list", action="store_true", help="list scenarios and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, campaign_cls in sorted(CAMPAIGNS.items()):
+            doc = (campaign_cls.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:28s} {doc}")
+        return 0
+    if not args.out:
+        parser.error("--out is required unless --list is given")
+
+    names = args.scenario or sorted(CAMPAIGNS)
+    suite = ScenarioSuite([CAMPAIGNS[name]() for name in names])
+    reports = suite.run(args.seed, args.out)
+    for report in reports:
+        metrics = report.metrics
+        print(
+            f"{report.run_name}: devices={metrics['devices']} "
+            f"misidentified={metrics['misidentified']} "
+            f"quarantine={metrics['quarantine']['size']} "
+            f"false_triggers={metrics['autopilot']['false_triggers']} "
+            f"dropped={metrics['backpressure']['dropped']} "
+            f"-> {report.report_path}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The suite runner: every campaign, one seed, one diffable manifest."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from .base import (
+    SCENARIO_SCHEMA_VERSION,
+    Campaign,
+    ScenarioReport,
+    artifact_digests,
+    canonical_json,
+)
+from .campaigns import CAMPAIGNS
+
+
+def default_suite() -> list[Campaign]:
+    """One instance of each stock campaign, registry order."""
+    return [campaign_cls() for campaign_cls in CAMPAIGNS.values()]
+
+
+class ScenarioSuite:
+    """Runs a set of campaigns under one seed and writes a manifest.
+
+    The manifest (``suite__seed-<seed>.json``) carries the SHA-256 of
+    every contract artifact each run produced, so "two runs of the same
+    seed are byte-identical" is checkable from the manifest alone -- the
+    property ``tools/check_scenarios.py --compare`` enforces in CI.
+    """
+
+    def __init__(self, campaigns: Optional[Sequence[Campaign]] = None):
+        self.campaigns = list(campaigns) if campaigns is not None else default_suite()
+
+    def run(self, seed: int, out_dir: Union[str, Path]) -> list[ScenarioReport]:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        reports = [campaign.run(seed, out_dir) for campaign in self.campaigns]
+        manifest = {
+            "schema": SCENARIO_SCHEMA_VERSION,
+            "seed": seed,
+            "scenarios": [
+                {
+                    "scenario": report.scenario,
+                    "run_name": report.run_name,
+                    "digests": artifact_digests(report.run_dir),
+                    "headline": {
+                        "devices": report.metrics["devices"],
+                        "misidentified": report.metrics["misidentified"],
+                        "misidentification_rate": report.metrics["misidentification_rate"],
+                        "quarantine_size": report.metrics["quarantine"]["size"],
+                        "autopilot_false_triggers": report.metrics["autopilot"]["false_triggers"],
+                        "enforced": report.metrics["enforcement"]["enforced"],
+                        "dropped": report.metrics["backpressure"]["dropped"],
+                    },
+                }
+                for report in reports
+            ],
+        }
+        manifest_path = out_dir / f"suite__seed-{seed}.json"
+        manifest_path.write_text(canonical_json(manifest), encoding="utf-8")
+        return reports

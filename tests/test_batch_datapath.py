@@ -355,3 +355,90 @@ class TestBatchedPipeline:
             assert fast.device_type == slow.device_type
             assert fast.matched_types == slow.matched_types
             assert fast.discrimination_scores == slow.discrimination_scores
+
+# --------------------------------------------------------------------- #
+# Fuzz: the struct-batched frame parser vs Packet.dissect on hostile
+# input -- truncated, byte-flipped and garbage frames (the wire the
+# scenario harness stresses must parse identically either way).
+# --------------------------------------------------------------------- #
+class TestFromFramesFuzz:
+    ROUNDS = 4
+
+    def _base_frames(self, seed):
+        from repro.net.pcap import CapturedPacket
+
+        packets = _setup_packets(seed=seed)
+        return [
+            CapturedPacket(packet.timestamp, packet.to_bytes(), 0)
+            for packet in packets
+        ]
+
+    def _mutate(self, rng, frame):
+        from repro.net.pcap import CapturedPacket
+
+        data = bytearray(frame.data)
+        choice = rng.randrange(5)
+        if choice == 0:  # truncation anywhere, including sub-Ethernet
+            data = data[: rng.randrange(len(data))]
+        elif choice == 1:  # random byte flips in place
+            for _ in range(rng.randrange(1, 8)):
+                data[rng.randrange(len(data))] = rng.randrange(256)
+        elif choice == 2:  # pure garbage (possibly empty)
+            data = bytearray(rng.randbytes(rng.randrange(0, 80)))
+        elif choice == 3:  # Ethernet header kept, upper layers cut short
+            data = data[: rng.randrange(14, len(data) + 1)]
+        else:  # trailing garbage appended
+            data = data + bytearray(rng.randbytes(rng.randrange(1, 40)))
+        return CapturedPacket(frame.timestamp, bytes(data), 0)
+
+    def test_fast_parse_matches_full_dissect_on_mutated_frames(self):
+        from repro.exceptions import PacketDecodeError
+        from repro.net.packet import Packet
+
+        rng = random.Random(20260808)
+        for round_index in range(self.ROUNDS):
+            frames = self._base_frames(seed=60 + round_index)
+            mutants = [self._mutate(rng, frame) for frame in frames]
+            parseable, rejected = [], []
+            oracle_packets = []
+            for frame in frames + mutants:
+                try:
+                    oracle_packets.append(
+                        Packet.dissect(frame.data, timestamp=frame.timestamp)
+                    )
+                    parseable.append(frame)
+                except PacketDecodeError:
+                    rejected.append(frame)
+
+            # Frames the full dissector rejects must not slip through the
+            # fast path either (silently mis-parsed hostile frames would
+            # poison fingerprints downstream).
+            for frame in rejected:
+                with pytest.raises(PacketDecodeError):
+                    PacketBatch.from_frames([frame])
+
+            batch = PacketBatch.from_frames(parseable)
+            oracle = PacketBatch.from_packets(oracle_packets)
+            assert len(batch) == len(parseable)
+            np.testing.assert_array_equal(batch.flags, oracle.flags)
+            np.testing.assert_array_equal(batch.src_macs, oracle.src_macs)
+            np.testing.assert_array_equal(batch.src_ports, oracle.src_ports)
+            np.testing.assert_array_equal(batch.dst_ports, oracle.dst_ports)
+            np.testing.assert_array_equal(batch.sizes, oracle.sizes)
+            np.testing.assert_array_equal(batch.timestamps, oracle.timestamps)
+            assert batch.dst_ips == oracle.dst_ips
+            np.testing.assert_array_equal(
+                batch_feature_matrix(batch), batch_feature_matrix(oracle)
+            )
+
+    def test_truncated_ethernet_header_raises_like_dissect(self):
+        from repro.exceptions import PacketDecodeError
+        from repro.net.packet import Packet
+        from repro.net.pcap import CapturedPacket
+
+        for size in (0, 1, 7, 13):
+            raw = bytes(range(size))
+            with pytest.raises(PacketDecodeError):
+                Packet.dissect(raw)
+            with pytest.raises(PacketDecodeError):
+                PacketBatch.from_frames([CapturedPacket(0.0, raw, 0)])

@@ -283,3 +283,92 @@ class TestLifecycleCoupling:
         gateway.rule_cache.evict_stale(now=1_000_000.0, max_idle_seconds=60.0)
         assert (record.mac, "stale") in observed  # the original hook ran
         assert record.mac not in coordinator.quarantine  # and so did the wiring
+
+
+class TestDhcpChurn:
+    """Lease reassignment races: ip_to_mac coherence under re-join storms.
+
+    Pins the disconnect guard (a departing device must not evict a lease
+    that has already been reassigned to another MAC) and the quarantine
+    dedup behaviour for rotated identities re-running setup.
+    """
+
+    MAC_A = MACAddress.from_string("06:aa:aa:aa:aa:01")
+    MAC_B = MACAddress.from_string("06:bb:bb:bb:bb:02")
+
+    def test_rejoin_with_new_lease_drops_old_mapping(self, gateway):
+        gateway.note_address_claim(self.MAC_A, "10.0.0.10", now=1.0)
+        gateway.note_address_claim(self.MAC_A, "10.0.0.20", now=2.0)
+        assert gateway.ip_to_mac == {"10.0.0.20": self.MAC_A}
+        assert gateway.devices[self.MAC_A].ip_address == "10.0.0.20"
+
+    def test_takeover_survives_previous_holder_rejoin(self, gateway):
+        # A held the lease, B took it over, then A re-joins elsewhere:
+        # A's old-lease cleanup must not evict B's live mapping.
+        gateway.note_address_claim(self.MAC_A, "10.0.0.10", now=1.0)
+        gateway.note_address_claim(self.MAC_B, "10.0.0.10", now=2.0)
+        gateway.note_address_claim(self.MAC_A, "10.0.0.30", now=3.0)
+        assert gateway.ip_to_mac["10.0.0.10"] == self.MAC_B
+        assert gateway.ip_to_mac["10.0.0.30"] == self.MAC_A
+
+    def test_disconnect_does_not_evict_reassigned_lease(self, gateway):
+        # The regression: disconnect used to pop the record's IP
+        # unconditionally, tearing down the *new* holder's mapping.
+        gateway.note_address_claim(self.MAC_A, "10.0.0.10", now=1.0)
+        gateway.note_address_claim(self.MAC_B, "10.0.0.10", now=2.0)
+        gateway.disconnect_device(self.MAC_A)
+        assert self.MAC_A not in gateway.devices
+        assert gateway.ip_to_mac["10.0.0.10"] == self.MAC_B
+
+    def test_disconnect_drops_a_still_owned_lease(self, gateway):
+        gateway.note_address_claim(self.MAC_A, "10.0.0.10", now=1.0)
+        gateway.disconnect_device(self.MAC_A)
+        assert "10.0.0.10" not in gateway.ip_to_mac
+
+    def test_unspecified_address_is_ignored(self, gateway):
+        # DHCP DISCOVER traffic claims 0.0.0.0; it must never enter the map.
+        gateway.note_address_claim(self.MAC_A, "0.0.0.0", now=1.0)
+        gateway.note_address_claim(self.MAC_A, None, now=2.0)
+        assert gateway.ip_to_mac == {}
+        assert gateway.devices[self.MAC_A].ip_address is None
+
+    def test_storm_leaves_no_stale_or_dangling_entries(self, gateway):
+        # A randomized churn storm; the map must stay a bijection onto
+        # the connected devices' current leases throughout.
+        import random
+
+        rng = random.Random(4242)
+        macs = [
+            MACAddress.from_string(f"06:cc:cc:cc:cc:{index:02x}") for index in range(6)
+        ]
+        leases = [f"10.1.0.{index}" for index in range(4)]
+        for step in range(200):
+            mac = rng.choice(macs)
+            if rng.random() < 0.2:
+                gateway.disconnect_device(mac)
+            else:
+                gateway.note_address_claim(mac, rng.choice(leases), now=float(step))
+        for ip, mac in gateway.ip_to_mac.items():
+            assert mac in gateway.devices, f"dangling mapping {ip} -> {mac}"
+            assert gateway.devices[mac].ip_address == ip
+        ips = list(gateway.ip_to_mac)
+        assert len(ips) == len(set(ips))
+
+    def test_rotated_mac_rejoin_is_not_double_counted(self, service, gateway):
+        from repro.features.fingerprint import Fingerprint
+        from repro.identification.lifecycle import LifecycleCoordinator
+
+        coordinator = LifecycleCoordinator(identifier=service.identifier)
+        gateway.attach_lifecycle(coordinator)
+        record, trace = _onboard(gateway, "MAXGateway", seed=910)
+        fingerprint = Fingerprint.from_packets(trace.packets)
+        # The same rotated identity re-runs setup repeatedly: the log
+        # refreshes its one entry instead of growing per sighting.
+        for sighting in range(3):
+            coordinator.quarantine.record(record.mac, fingerprint, now=float(sighting))
+        assert len(coordinator.quarantine) == 1
+        assert coordinator.quarantine.recorded == 3
+        assert coordinator.quarantine.evicted == 0
+        gateway.disconnect_device(record.mac)
+        assert len(coordinator.quarantine) == 0
+        assert coordinator.quarantine.released == 1

@@ -1,0 +1,325 @@
+#!/usr/bin/env python3
+"""Scenario-artifact validator: schema, evidence reconciliation, determinism.
+
+A dependency-free (stdlib-only) checker for the per-scenario artifacts
+written by :mod:`repro.scenarios` -- like ``check_ledger.py``, it runs
+anywhere the files do (CI runner, operator laptop, no numpy) and
+deliberately re-implements the contract instead of importing ``repro``,
+so a bug in the harness cannot hide itself from the gate.
+
+Validate mode checks every ``report.json`` run directory under a path:
+
+* ``report.json`` parses, carries ``schema`` 1, and its ``run_name``
+  matches both the directory name and ``<scenario>__seed-<seed>``;
+* the metrics block carries every contract section (misidentification,
+  quarantine, autopilot, enforcement, backpressure, ledger,
+  reconciliation) and every reconciliation flag is true;
+* ``devices.csv`` agrees row-for-row with the report's ``devices`` list;
+* the run's evidence-ledger chain parses, its per-kind counts equal the
+  report's ``ledger`` section, and **every claimed misidentification is
+  backed by a verdict record** for that MAC carrying that verdict --
+  no claim without an :class:`EvidenceRecord` trail.
+
+Compare mode (``--compare A B``) asserts two runs of the same seed are
+byte-identical over the contract set -- ``report.json``,
+``devices.csv``, suite manifests and the ledger chain; ``scratch/``
+material (e.g. model bundles, whose zip container embeds timestamps) is
+excluded by design.
+
+Usage::
+
+    python tools/check_scenarios.py path/to/runs
+    python tools/check_scenarios.py --compare runs-a runs-b
+
+Exit status 0 when clean; 1 with one line per problem; 2 on usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+UNKNOWN = "unknown"
+PROVISIONAL_PREFIX = "unknown-model-"
+METRIC_SECTIONS = (
+    "devices",
+    "identified",
+    "unassessed",
+    "misidentified",
+    "misidentification_rate",
+    "quarantine",
+    "autopilot",
+    "enforcement",
+    "backpressure",
+    "ledger",
+    "reconciliation",
+    "snapshot",
+)
+CSV_COLUMNS = (
+    "mac",
+    "role",
+    "true_type",
+    "expected",
+    "verdict",
+    "isolation",
+    "quarantined",
+    "misidentified",
+    "ledger_backed",
+)
+#: Files that make up the byte-stable contract of a run directory.
+CONTRACT_NAMES = ("report.json", "devices.csv")
+
+
+def is_contract_file(path: Path) -> bool:
+    return (
+        path.name in CONTRACT_NAMES
+        or "ledger.ndjson" in path.name
+        or (path.name.startswith("suite__seed-") and path.name.endswith(".json"))
+    )
+
+
+def chain_files(active: Path) -> list[Path]:
+    """The ledger chain, oldest first (mirrors repro.obs.ledger.ledger_files)."""
+    rotated = []
+    for candidate in active.parent.glob(active.name + ".*"):
+        suffix = candidate.name[len(active.name) + 1 :]
+        if suffix.isdigit():
+            rotated.append((int(suffix), candidate))
+    files = [file for _, file in sorted(rotated, reverse=True)]
+    if active.exists():
+        files.append(active)
+    return files
+
+
+def read_ledger(active: Path, errors: list[str]) -> list[dict]:
+    """Decode a ledger chain leniently; structural depth is check_ledger's job."""
+    records: list[dict] = []
+    for file in chain_files(active):
+        for line_index, line in enumerate(file.read_text(encoding="utf-8").splitlines()):
+            where = f"{file.name}:{line_index + 1}"
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                errors.append(f"{where}: malformed JSON in ledger")
+                continue
+            if isinstance(payload, dict):
+                records.append(payload)
+            else:
+                errors.append(f"{where}: ledger record is not a JSON object")
+    return records
+
+
+def find_runs(root: Path) -> list[Path]:
+    """Every scenario run directory (holds a report.json) under ``root``."""
+    if (root / "report.json").exists():
+        return [root]
+    return sorted(path.parent for path in root.glob("*/report.json"))
+
+
+def check_run(run_dir: Path, errors: list[str]) -> None:
+    where = run_dir.name
+    report_path = run_dir / "report.json"
+    try:
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        errors.append(f"{where}: cannot read report.json ({exc})")
+        return
+    if report.get("schema") != SCHEMA_VERSION:
+        errors.append(f"{where}: unsupported schema {report.get('schema')!r}")
+        return
+
+    scenario = report.get("scenario")
+    seed = report.get("seed")
+    run_name = report.get("run_name")
+    expected_name = f"{scenario}__seed-{seed}"
+    if run_name != expected_name:
+        errors.append(f"{where}: run_name {run_name!r} != {expected_name!r}")
+    if run_dir.name != run_name:
+        errors.append(f"{where}: directory name does not match run_name {run_name!r}")
+
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append(f"{where}: metrics block missing")
+        return
+    for section in METRIC_SECTIONS:
+        if section not in metrics:
+            errors.append(f"{where}: metrics missing {section!r}")
+    reconciliation = metrics.get("reconciliation", {})
+    for flag, value in sorted(reconciliation.items()) if isinstance(reconciliation, dict) else []:
+        if value is not True:
+            errors.append(f"{where}: reconciliation flag {flag} is {value!r}")
+
+    devices = report.get("devices")
+    if not isinstance(devices, list):
+        errors.append(f"{where}: devices list missing")
+        return
+    if isinstance(metrics.get("devices"), int) and metrics["devices"] != len(devices):
+        errors.append(
+            f"{where}: metrics.devices {metrics['devices']} != {len(devices)} device rows"
+        )
+    _check_csv(run_dir, devices, where, errors)
+    _check_evidence(run_dir, report, metrics, devices, where, errors)
+
+
+def _check_csv(run_dir: Path, devices: list, where: str, errors: list[str]) -> None:
+    csv_path = run_dir / "devices.csv"
+    if not csv_path.exists():
+        errors.append(f"{where}: devices.csv missing")
+        return
+    with csv_path.open(encoding="utf-8", newline="") as stream:
+        rows = list(csv.reader(stream))
+    if not rows or tuple(rows[0]) != CSV_COLUMNS:
+        errors.append(f"{where}: devices.csv header mismatch")
+        return
+    if len(rows) - 1 != len(devices):
+        errors.append(
+            f"{where}: devices.csv has {len(rows) - 1} rows, report has {len(devices)}"
+        )
+        return
+    for index, (row, device) in enumerate(zip(rows[1:], devices)):
+        expected_row = [
+            "" if device.get(column) is None else str(device.get(column))
+            for column in CSV_COLUMNS
+        ]
+        if row != expected_row:
+            errors.append(f"{where}: devices.csv row {index + 1} disagrees with report.json")
+
+
+def _check_evidence(
+    run_dir: Path,
+    report: dict,
+    metrics: dict,
+    devices: list,
+    where: str,
+    errors: list[str],
+) -> None:
+    ledger_name = report.get("artifacts", {}).get("ledger")
+    if not isinstance(ledger_name, str):
+        errors.append(f"{where}: artifacts.ledger missing")
+        return
+    active = run_dir / ledger_name
+    if not chain_files(active):
+        errors.append(f"{where}: ledger chain {ledger_name} not found")
+        return
+    records = read_ledger(active, errors)
+    counts: dict[str, int] = {}
+    verdict_trail: dict[str, set[str]] = {}
+    for record in records:
+        kind = record.get("kind")
+        counts[kind] = counts.get(kind, 0) + 1
+        # Verdict records back dispatcher-path verdicts; enforcement
+        # records back sink-applied ones (the reprofile path), mirroring
+        # repro.scenarios.base scoring.
+        if kind in ("verdict", "enforcement") and record.get("mac") is not None:
+            if record.get("verdict") is not None:
+                verdict_trail.setdefault(record["mac"], set()).add(record["verdict"])
+
+    ledger_metrics = metrics.get("ledger", {})
+    for kind in ("verdict", "enforcement", "quarantine", "learn"):
+        claimed = ledger_metrics.get(f"{kind}_records")
+        actual = counts.get(kind, 0)
+        if claimed != actual:
+            errors.append(
+                f"{where}: report claims {claimed} {kind} records, ledger has {actual}"
+            )
+
+    misidentified = 0
+    for device in devices:
+        mac = device.get("mac")
+        verdict = device.get("verdict")
+        claimed_wrong = device.get("misidentified")
+        # Recompute the misidentification predicate from ground truth --
+        # the report must not be able to hide a wrong verdict.
+        wrong = (
+            verdict not in (None, "", UNKNOWN)
+            and not str(verdict).startswith(PROVISIONAL_PREFIX)
+            and verdict != device.get("expected")
+        )
+        if bool(claimed_wrong) != wrong:
+            errors.append(f"{where}: device {mac} misidentified flag disagrees with truth")
+        if wrong:
+            misidentified += 1
+            if verdict not in verdict_trail.get(mac, set()):
+                errors.append(
+                    f"{where}: misidentification of {mac} as {verdict!r} "
+                    "has no backing verdict record in the ledger"
+                )
+    if isinstance(metrics.get("misidentified"), int) and metrics["misidentified"] != misidentified:
+        errors.append(
+            f"{where}: metrics.misidentified {metrics['misidentified']} != {misidentified} recomputed"
+        )
+
+
+def compare_runs(dir_a: Path, dir_b: Path, errors: list[str]) -> int:
+    """Byte-compare the contract artifacts of two run trees."""
+
+    def contract_map(root: Path) -> dict[str, Path]:
+        return {
+            str(path.relative_to(root)): path
+            for path in sorted(root.rglob("*"))
+            if path.is_file() and "scratch" not in path.relative_to(root).parts
+            and is_contract_file(path)
+        }
+
+    files_a, files_b = contract_map(dir_a), contract_map(dir_b)
+    for name in sorted(set(files_a) - set(files_b)):
+        errors.append(f"compare: {name} only in {dir_a}")
+    for name in sorted(set(files_b) - set(files_a)):
+        errors.append(f"compare: {name} only in {dir_b}")
+    compared = 0
+    for name in sorted(set(files_a) & set(files_b)):
+        compared += 1
+        digest_a = hashlib.sha256(files_a[name].read_bytes()).hexdigest()
+        digest_b = hashlib.sha256(files_b[name].read_bytes()).hexdigest()
+        if digest_a != digest_b:
+            errors.append(f"compare: {name} differs between runs (non-deterministic artifact)")
+    if compared == 0:
+        errors.append("compare: no contract artifacts found to compare")
+    return compared
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_scenarios.py",
+        description="Validate scenario artifacts and their evidence trails.",
+    )
+    parser.add_argument("paths", nargs="+", help="run directory/directories")
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="byte-compare two run trees instead of validating one",
+    )
+    args = parser.parse_args(argv)
+
+    errors: list[str] = []
+    if args.compare:
+        if len(args.paths) != 2:
+            print("usage: check_scenarios.py --compare DIR_A DIR_B", file=sys.stderr)
+            return 2
+        compared = compare_runs(Path(args.paths[0]), Path(args.paths[1]), errors)
+        label = f"{compared} artifact(s) byte-compared"
+    else:
+        runs = [run for path in args.paths for run in find_runs(Path(path))]
+        if not runs:
+            print(f"error: no scenario runs found under {args.paths}")
+            return 1
+        for run_dir in runs:
+            check_run(run_dir, errors)
+        label = f"{len(runs)} run(s) validated"
+
+    for error in errors:
+        print(f"error: {error}")
+    if errors:
+        print(f"check_scenarios: FAILED ({len(errors)} problem(s), {label})")
+        return 1
+    print(f"check_scenarios: OK ({label})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
