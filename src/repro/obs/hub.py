@@ -43,7 +43,7 @@ from repro.obs.evidence import (
     QUARANTINE_RELEASED as QUARANTINE_RELEASED,
 )
 from repro.obs.ledger import VerdictLedger
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, Scalar
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.identification.autopilot import LifecycleAutopilot
@@ -140,7 +140,7 @@ class Observability:
         stats = dispatcher.stats
         queue_stats = dispatcher.queue.stats
 
-        def dispatcher_source():
+        def dispatcher_source() -> dict[str, Scalar]:
             return {
                 "submitted": stats.submitted,
                 "dropped": stats.dropped,
@@ -154,7 +154,7 @@ class Observability:
                 "swaps": stats.swaps,
             }
 
-        def queue_source():
+        def queue_source() -> dict[str, Scalar]:
             return {
                 "offered": queue_stats.offered,
                 "accepted": queue_stats.accepted,
@@ -170,7 +170,7 @@ class Observability:
         cache = dispatcher.cache
         if cache is not None:
 
-            def cache_source():
+            def cache_source() -> dict[str, Scalar]:
                 return {
                     "hits": cache.hits,
                     "misses": cache.misses,
@@ -186,7 +186,7 @@ class Observability:
         """Absorb the assembler's counters and the dispatcher's (chained)."""
         stats = pipeline.assembler.stats
 
-        def assembler_source():
+        def assembler_source() -> dict[str, Scalar]:
             return {
                 "packets_observed": stats.packets_observed,
                 "fingerprints_emitted": stats.fingerprints_emitted,
@@ -202,7 +202,7 @@ class Observability:
     def register_sink(self, sink: "GatewayEnforcementSink") -> None:
         """Absorb the enforcement sink's counters and the rule cache's."""
 
-        def sink_source():
+        def sink_source() -> dict[str, Scalar]:
             return {
                 "enforced": sink.enforced,
                 "skipped_downgrades": sink.skipped_downgrades,
@@ -211,7 +211,7 @@ class Observability:
 
         rule_cache = sink.gateway.rule_cache
 
-        def rule_cache_source():
+        def rule_cache_source() -> dict[str, Scalar]:
             return {
                 "lookups": rule_cache.lookups,
                 "hits": rule_cache.hits,
@@ -227,14 +227,14 @@ class Observability:
     def register_lifecycle(self, coordinator: "LifecycleCoordinator") -> None:
         """Absorb the quarantine log, epoch and coordinator counters."""
 
-        def lifecycle_source():
+        def lifecycle_source() -> dict[str, Scalar]:
             return {
                 "relearns": coordinator.relearns,
                 "disconnects": coordinator.disconnects,
                 "registered_caches": len(coordinator.registered_caches),
             }
 
-        def quarantine_source():
+        def quarantine_source() -> dict[str, Scalar]:
             log = coordinator.quarantine  # re-read: learns may replace it
             return {
                 "recorded": log.recorded,
@@ -244,7 +244,7 @@ class Observability:
                 "capacity": log.capacity,
             }
 
-        def epoch_source():
+        def epoch_source() -> dict[str, Scalar]:
             return {
                 "generation": coordinator.epoch.generation,
                 "invalidations": coordinator.epoch.invalidations,
@@ -257,7 +257,7 @@ class Observability:
     def register_autopilot(self, autopilot: "LifecycleAutopilot") -> None:
         """Absorb the autopilot's trigger counters."""
 
-        def autopilot_source():
+        def autopilot_source() -> dict[str, Scalar]:
             return {
                 "triggers_fired": autopilot.triggers_fired,
                 "learned": autopilot.learned,

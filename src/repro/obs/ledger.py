@@ -42,7 +42,7 @@ def ledger_files(path: Union[str, Path]) -> list[Path]:
     """
     active = Path(path)
     rotated: list[tuple[int, Path]] = []
-    for candidate in active.parent.glob(active.name + ".*"):
+    for candidate in sorted(active.parent.glob(active.name + ".*")):
         suffix = candidate.name[len(active.name) + 1 :]
         if suffix.isdigit():
             rotated.append((int(suffix), candidate))

@@ -25,7 +25,7 @@ Design rules, all in service of the determinism suite:
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Callable, Mapping, Optional, Sequence, Union
+from typing import Callable, Mapping, Optional, Sequence, TypeVar, Union
 
 from repro.exceptions import ObservabilityError
 
@@ -127,6 +127,10 @@ class Histogram:
         flat[f"{self.name}.le_inf"] = self.counts[-1]
 
 
+#: The three instrument kinds, for the registry's get-or-create helper.
+_InstrumentT = TypeVar("_InstrumentT", Counter, Gauge, Histogram)
+
+
 class MetricsRegistry:
     """Instruments plus pull-model sources behind one ``snapshot()``.
 
@@ -161,7 +165,7 @@ class MetricsRegistry:
         self._instruments[name] = instrument
         return instrument
 
-    def _instrument(self, name, kind):
+    def _instrument(self, name: str, kind: "type[_InstrumentT]") -> "_InstrumentT":
         existing = self._instruments.get(name)
         if existing is not None:
             if not isinstance(existing, kind):

@@ -244,6 +244,7 @@ class ParallelShardAssembler:
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown path
         try:
             self.close()
+        # repro-lint: disable=exception-hygiene -- __del__ runs during interpreter teardown where modules may already be torn down; raising here aborts GC with an unraisable error
         except Exception:
             pass
 

@@ -1,0 +1,445 @@
+"""repro-lint: per-rule good/bad fixtures, suppressions, reporters, self-lint.
+
+Every rule gets at least one minimal snippet it must fire on and one
+compliant rewrite it must stay silent on; the self-lint test at the end
+asserts the shipped tree is clean under the shipped config -- the same
+invocation the CI gate runs.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.lint import ALL_RULES, LintConfig, lint_paths, lint_source
+from tools.lint.engine import parse_suppressions
+from tools.lint.reporters import render_json, render_rule_list, render_text
+from tools.lint.rules import (
+    CanonicalArtifactJson,
+    ExceptionHygiene,
+    ExportSync,
+    LedgerKindConstants,
+    NoSetOrderLeak,
+    NoUnseededRng,
+    NoWallclock,
+    SortedFsIteration,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: A path inside every default scope, for snippets that should be linted.
+SRC_PATH = "src/repro/example.py"
+
+
+def rule_ids(source: str, rules, path: str = SRC_PATH) -> list[str]:
+    return [finding.rule for finding in lint_source(source, path, rules)]
+
+
+class TestNoUnseededRng:
+    RULES = [NoUnseededRng]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            "from numpy.random import default_rng\nrng = default_rng()\n",
+            "import numpy as np\nx = np.random.choice(10)\n",
+            "import numpy as np\nnp.random.seed(0)\n",
+            "import random\nx = random.random()\n",
+            "import random\nrandom.shuffle(items)\n",
+            "import random\nr = random.Random()\n",
+            "import random\nr = random.SystemRandom()\n",
+        ],
+    )
+    def test_flags_entropy_sources(self, snippet):
+        assert rule_ids(snippet, self.RULES) == ["no-unseeded-rng"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import numpy as np\nrng = np.random.default_rng(42)\n",
+            "import numpy as np\nrng = np.random.default_rng(derive_seed(seed, 'x'))\n",
+            "import random\nr = random.Random(7)\n",
+            "rng = rig.default_rng(1)\n",
+            "import numpy as np\ng = np.random.Generator(np.random.PCG64(3))\n",
+        ],
+    )
+    def test_allows_seeded_generators(self, snippet):
+        assert rule_ids(snippet, self.RULES) == []
+
+
+class TestNoWallclock:
+    RULES = [NoWallclock]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import time\nnow = time.time()\n",
+            "import time\nnow = time.time_ns()\n",
+            "import time\nstamp = time.gmtime()\n",
+            "from datetime import datetime\nnow = datetime.now()\n",
+            "import datetime\nnow = datetime.datetime.utcnow()\n",
+            "from datetime import date\ntoday = date.today()\n",
+        ],
+    )
+    def test_flags_wallclock_reads(self, snippet):
+        assert rule_ids(snippet, self.RULES) == ["no-wallclock"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import time\nstart = time.perf_counter()\n",
+            "import time\nstamp = time.gmtime(0)\n",
+            "now = clock.now()\n",
+            "import time\ntime.sleep(0.1)\n",
+        ],
+    )
+    def test_allows_durations_and_stream_time(self, snippet):
+        assert rule_ids(snippet, self.RULES) == []
+
+
+class TestCanonicalArtifactJson:
+    RULES = [CanonicalArtifactJson]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import json\ntext = json.dumps(document)\n",
+            "import json\njson.dump(document, handle)\n",
+            "import json\ntext = json.dumps(document, indent=2)\n",
+            "import json\ntext = json.dumps(document, sort_keys=False, indent=2)\n",
+            "import json\ntext = json.dumps(document, sort_keys=True)\n",
+        ],
+    )
+    def test_flags_non_canonical_dumps(self, snippet):
+        assert rule_ids(snippet, self.RULES) == ["canonical-artifact-json"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            'import json\ntext = json.dumps(d, sort_keys=True, separators=(",", ":"))\n',
+            "import json\ntext = json.dumps(d, sort_keys=True, indent=2)\n",
+            "import json\ndocument = json.loads(text)\n",
+            "import pickle\ndata = pickle.dumps(obj)\n",
+        ],
+    )
+    def test_allows_canonical_or_unrelated(self, snippet):
+        assert rule_ids(snippet, self.RULES) == []
+
+
+class TestSortedFsIteration:
+    RULES = [SortedFsIteration]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import os\nfor name in os.listdir(path):\n    print(name)\n",
+            "for child in path.iterdir():\n    print(child)\n",
+            "files = list(path.glob('*.json'))\n",
+            "import glob\nnames = glob.glob('*.py')\n",
+            "import os\nfor root, dirs, files in os.walk(top):\n    pass\n",
+        ],
+    )
+    def test_flags_unsorted_scans(self, snippet):
+        assert rule_ids(snippet, self.RULES) == ["sorted-fs-iteration"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import os\nfor name in sorted(os.listdir(path)):\n    print(name)\n",
+            "files = sorted(path.glob('*.json'))\n",
+            "runs = sorted(p.parent for p in root.glob('*/report.json'))\n",
+            "count = len(list(path.glob('*.pcap')))\n",
+            "newest = max(path.glob('*.log'))\n",
+        ],
+    )
+    def test_allows_sorted_or_order_free_scans(self, snippet):
+        assert rule_ids(snippet, self.RULES) == []
+
+
+class TestNoSetOrderLeak:
+    RULES = [NoSetOrderLeak]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "for mac in {record.mac for record in records}:\n    emit(mac)\n",
+            "for item in set(items):\n    emit(item)\n",
+            "rows = list(set(rows))\n",
+            "labels = [str(x) for x in set(values)]\n",
+            "text = ', '.join({name for name in names})\n",
+        ],
+    )
+    def test_flags_order_leaks(self, snippet):
+        assert rule_ids(snippet, self.RULES) == ["no-set-order-leak"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "for mac in sorted({record.mac for record in records}):\n    emit(mac)\n",
+            "rows = sorted(set(rows))\n",
+            "present = value in {1, 2, 3}\n",
+            "merged = set(a) | set(b)\n",
+            "unique = {normalise(x) for x in set(values)}\n",
+            "count = len(set(values))\n",
+        ],
+    )
+    def test_allows_sorted_or_order_free_uses(self, snippet):
+        assert rule_ids(snippet, self.RULES) == []
+
+
+class TestLedgerKindConstants:
+    RULES = [LedgerKindConstants]
+
+    def test_flags_string_literal_kind(self):
+        snippet = "record = EvidenceRecord(kind='verdict', mac=mac)\n"
+        assert rule_ids(snippet, self.RULES) == ["ledger-kind-constants"]
+
+    def test_flags_positional_literal_kind(self):
+        snippet = "from repro.obs import EvidenceRecord\nr = EvidenceRecord('push')\n"
+        assert rule_ids(snippet, self.RULES) == ["ledger-kind-constants"]
+
+    def test_allows_constant_kind(self):
+        snippet = (
+            "from repro.obs.evidence import KIND_VERDICT\n"
+            "record = EvidenceRecord(kind=KIND_VERDICT)\n"
+        )
+        assert rule_ids(snippet, self.RULES) == []
+
+
+class TestExceptionHygiene:
+    RULES = [ExceptionHygiene]
+
+    def test_flags_bare_except(self):
+        snippet = "try:\n    work()\nexcept:\n    recover()\n"
+        assert rule_ids(snippet, self.RULES) == ["exception-hygiene"]
+
+    def test_flags_swallow_all(self):
+        snippet = "try:\n    work()\nexcept Exception:\n    pass\n"
+        assert rule_ids(snippet, self.RULES) == ["exception-hygiene"]
+
+    def test_flags_raising_bare_exception(self):
+        snippet = "raise Exception('boom')\n"
+        assert rule_ids(snippet, self.RULES) == ["exception-hygiene"]
+
+    def test_flags_builtin_raise_in_public_api(self):
+        snippet = "raise ValueError('bad field')\n"
+        assert rule_ids(snippet, self.RULES, path="src/repro/api.py") == [
+            "exception-hygiene"
+        ]
+
+    def test_allows_builtin_raise_outside_public_api(self):
+        snippet = "raise ValueError('bad field')\n"
+        assert rule_ids(snippet, self.RULES, path="src/repro/ml/tree.py") == []
+
+    def test_allows_typed_handler_and_reraise(self):
+        snippet = (
+            "try:\n"
+            "    work()\n"
+            "except LedgerError as error:\n"
+            "    raise ConfigError('bad ledger') from error\n"
+        )
+        assert rule_ids(snippet, self.RULES, path="src/repro/api.py") == []
+
+
+class TestExportSync:
+    RULES = [ExportSync]
+
+    def test_flags_unbound_export(self):
+        snippet = "def real():\n    pass\n__all__ = ['real', 'ghost']\n"
+        assert rule_ids(snippet, self.RULES) == ["export-sync"]
+
+    def test_flags_duplicate_export(self):
+        snippet = "x = 1\n__all__ = ['x', 'x']\n"
+        assert rule_ids(snippet, self.RULES) == ["export-sync"]
+
+    def test_flags_undeclared_reexport_in_init(self):
+        snippet = "from repro.obs.evidence import KIND_PUSH, KIND_APPLY\n__all__ = ['KIND_PUSH']\n"
+        assert rule_ids(snippet, self.RULES, path="src/repro/obs/__init__.py") == [
+            "export-sync"
+        ]
+
+    def test_plain_module_may_import_without_declaring(self):
+        snippet = "from pathlib import Path\n__all__ = ['helper']\ndef helper():\n    pass\n"
+        assert rule_ids(snippet, self.RULES, path="src/repro/util.py") == []
+
+    def test_type_checking_imports_count_as_bound(self):
+        snippet = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.api import GatewayConfig\n"
+            "__all__ = ['GatewayConfig', 'TYPE_CHECKING']\n"
+        )
+        assert rule_ids(snippet, self.RULES) == []
+
+    def test_module_without_all_is_silent(self):
+        assert rule_ids("from pathlib import Path\n", self.RULES) == []
+
+
+class TestSuppressions:
+    def test_trailing_pragma_suppresses_its_line(self):
+        snippet = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  "
+            "# repro-lint: disable=no-unseeded-rng -- fixture needs entropy\n"
+        )
+        assert rule_ids(snippet, [NoUnseededRng]) == []
+
+    def test_standalone_pragma_suppresses_next_line(self):
+        snippet = (
+            "import numpy as np\n"
+            "# repro-lint: disable=no-unseeded-rng -- fixture needs entropy\n"
+            "rng = np.random.default_rng()\n"
+        )
+        assert rule_ids(snippet, [NoUnseededRng]) == []
+
+    def test_pragma_without_reason_is_a_finding_and_does_not_suppress(self):
+        snippet = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro-lint: disable=no-unseeded-rng\n"
+        )
+        ids = rule_ids(snippet, [NoUnseededRng])
+        assert sorted(ids) == ["bad-suppression", "no-unseeded-rng"]
+
+    def test_pragma_only_covers_named_rules(self):
+        snippet = (
+            "import numpy as np, json\n"
+            "text = json.dumps(np.random.default_rng())  "
+            "# repro-lint: disable=no-unseeded-rng -- narrow on purpose\n"
+        )
+        ids = rule_ids(snippet, [NoUnseededRng, CanonicalArtifactJson])
+        assert ids == ["canonical-artifact-json"]
+
+    def test_pragma_examples_in_docstrings_are_inert(self):
+        snippet = (
+            '"""Docs.\n\n'
+            "    x = f()  # repro-lint: disable=no-unseeded-rng\n"
+            '"""\n'
+        )
+        assert rule_ids(snippet, list(ALL_RULES)) == []
+
+    def test_parse_reason_roundtrip(self):
+        table = parse_suppressions(
+            "x = 1  # repro-lint: disable=a-rule,b-rule -- because reasons\n"
+        )
+        (entry,) = table.suppressions
+        assert entry.rules == ("a-rule", "b-rule")
+        assert entry.reason == "because reasons"
+        assert entry.target_line == 1
+
+    def test_syntax_error_is_one_finding(self):
+        ids = rule_ids("def broken(:\n", list(ALL_RULES))
+        assert ids == ["syntax-error"]
+
+
+class TestReportersAndConfig:
+    def _findings(self):
+        return lint_source(
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            SRC_PATH,
+            [NoUnseededRng],
+        )
+
+    def test_json_report_schema(self):
+        document = json.loads(render_json(self._findings(), files_scanned=1))
+        assert document["schema"] == 1
+        assert document["tool"] == "repro-lint"
+        assert document["files_scanned"] == 1
+        assert document["counts"] == {"no-unseeded-rng": 1}
+        (finding,) = document["findings"]
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert finding["path"] == SRC_PATH
+        assert finding["line"] == 2
+
+    def test_json_report_is_canonical(self):
+        findings = self._findings()
+        assert render_json(findings, 1) == render_json(list(findings), 1)
+        assert render_json(findings, 1).endswith("\n")
+
+    def test_text_report_lines(self):
+        text = render_text(self._findings(), files_scanned=3)
+        assert f"{SRC_PATH}:2:" in text
+        assert "repro-lint: FAILED (1 finding(s)" in text
+        assert render_text([], 3) == "repro-lint: OK (3 file(s) clean)"
+
+    def test_rule_list_covers_every_rule(self):
+        text = render_rule_list(ALL_RULES)
+        for rule_cls in ALL_RULES:
+            assert rule_cls.rule_id in text
+            assert rule_cls.rationale
+            assert rule_cls.example_bad
+            assert rule_cls.example_good
+
+    def test_default_config_scopes_tests_out(self):
+        config = LintConfig.default()
+        assert config.rules_for("tests/test_lint.py") == []
+        assert NoUnseededRng in config.rules_for("src/repro/ml/sampling.py")
+        assert NoWallclock not in config.rules_for("benchmarks/conftest.py")
+        assert NoWallclock not in config.rules_for("src/repro/simulation/clock.py")
+
+    def test_select_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            LintConfig.default().with_rules(["no-such-rule"])
+
+
+class TestSelfLint:
+    """The shipped tree is clean under the shipped config -- the CI gate."""
+
+    def test_src_tools_benchmarks_examples_are_clean(self):
+        findings, files_scanned = lint_paths(
+            [
+                REPO_ROOT / "src",
+                REPO_ROOT / "tools",
+                REPO_ROOT / "benchmarks",
+                REPO_ROOT / "examples",
+            ],
+            LintConfig.default(),
+            root=REPO_ROOT,
+        )
+        assert files_scanned > 100
+        assert findings == [], "\n".join(finding.render() for finding in findings)
+
+    def test_cli_gate_fails_on_bad_fixture(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        completed = subprocess.run(
+            [sys.executable, "-m", "tools.lint", str(bad), "--format", "json"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            timeout=60,
+        )
+        assert completed.returncode == 1
+        document = json.loads(completed.stdout)
+        assert document["counts"] == {"no-unseeded-rng": 1}
+
+    def test_cli_gate_passes_on_shipped_tree(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "tools.lint", "src", "tools", "benchmarks"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert "repro-lint: OK" in completed.stdout
+
+    def test_every_suppression_in_tree_carries_reason(self):
+        offenders = []
+        for directory in ("src", "tools", "benchmarks", "examples"):
+            for path in sorted((REPO_ROOT / directory).rglob("*.py")):
+                table = parse_suppressions(path.read_text(encoding="utf-8"))
+                offenders.extend(
+                    f"{path}:{line}: {message}" for line, message in table.malformed
+                )
+                offenders.extend(
+                    f"{path}:{entry.pragma_line}: empty reason"
+                    for entry in table.suppressions
+                    if not entry.reason.strip()
+                )
+        assert offenders == []

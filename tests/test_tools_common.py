@@ -1,0 +1,74 @@
+"""tools/_common: the shared gate-script plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from tools._common import chain_files, load_json, report
+
+
+class TestChainFiles:
+    def test_orders_rotations_numerically_oldest_first(self, tmp_path):
+        active = tmp_path / "ledger.ndjson"
+        # .10 must sort after .2 (numeric, not lexicographic), and the
+        # chain reads oldest (highest generation) to newest (active).
+        for suffix in ("2", "10", "1"):
+            (tmp_path / f"ledger.ndjson.{suffix}").write_text("{}\n")
+        active.write_text("{}\n")
+        names = [file.name for file in chain_files(active)]
+        assert names == [
+            "ledger.ndjson.10",
+            "ledger.ndjson.2",
+            "ledger.ndjson.1",
+            "ledger.ndjson",
+        ]
+
+    def test_ignores_non_numeric_suffixes_and_missing_active(self, tmp_path):
+        active = tmp_path / "ledger.ndjson"
+        (tmp_path / "ledger.ndjson.bak").write_text("{}\n")
+        (tmp_path / "ledger.ndjson.1").write_text("{}\n")
+        names = [file.name for file in chain_files(active)]
+        assert names == ["ledger.ndjson.1"]
+
+
+class TestReport:
+    def test_clean_report_exits_zero(self, capsys):
+        assert report("gate", [], ok_label="5 things checked") == 0
+        assert capsys.readouterr().out == "gate: OK (5 things checked)\n"
+
+    def test_errors_exit_one_with_one_line_each(self, capsys):
+        code = report("gate", ["first", "second"], warnings=["heads up"])
+        out = capsys.readouterr().out.splitlines()
+        assert code == 1
+        assert out == [
+            "warning: heads up",
+            "error: first",
+            "error: second",
+            "gate: FAILED (2 problem(s))",
+        ]
+
+    def test_failed_line_keeps_an_informative_label(self, capsys):
+        report("gate", ["boom"], ok_label="3 records across 1 file(s)")
+        out = capsys.readouterr().out
+        assert "gate: FAILED (1 problem(s), 3 records across 1 file(s))" in out
+
+    def test_warnings_alone_stay_clean(self, capsys):
+        assert report("gate", [], warnings=["only a warning"]) == 0
+        assert "warning: only a warning" in capsys.readouterr().out
+
+
+class TestLoadJson:
+    def test_loads_document(self, tmp_path):
+        path = tmp_path / "doc.json"
+        path.write_text('{"ok": true}')
+        assert load_json(path) == {"ok": True}
+
+    def test_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            load_json(tmp_path / "absent.json", what="baseline")
+
+    def test_invalid_json_exits(self, tmp_path):
+        path = tmp_path / "doc.json"
+        path.write_text("not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            load_json(path)

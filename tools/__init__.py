@@ -1,0 +1,8 @@
+"""Repository tooling: CI gate scripts and the repro-lint framework.
+
+Everything in here is deliberately stdlib-only so the gates run on any
+CI runner or operator laptop without installing the package (numpy
+included).  The scripts are dual-mode: importable as ``tools.<name>``
+(what the test suite does) and runnable directly as
+``python tools/<name>.py`` (what CI does).
+"""

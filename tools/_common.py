@@ -1,0 +1,85 @@
+"""Shared plumbing of the stdlib-only gate scripts under ``tools/``.
+
+Every checker in this directory follows the same contract -- collect
+``errors`` (fatal) and ``warnings`` (informational), print one line per
+problem, exit 0 when clean and 1 otherwise -- and two of them walk the
+same rotated ledger chain.  That boilerplate used to be copy-pasted per
+script; it lives here now so a fix lands everywhere at once.
+
+The module must stay importable both as ``tools._common`` (package
+context, used by the test suite and ``python -m tools.lint``) and as
+``_common`` (script context, when CI runs ``python tools/check_X.py``
+and ``sys.path[0]`` is ``tools/``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Repository root, for repo-relative paths in reports.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def chain_files(active: Path) -> list[Path]:
+    """Every existing file of a rotated ledger chain, oldest first.
+
+    Mirrors :func:`repro.obs.ledger.ledger_files` without importing
+    ``repro`` (the gates must not trust the code they validate): rotated
+    generations ``<name>.N .. <name>.1`` precede the active file.  The
+    directory scan is sorted before the numeric ordering is applied so
+    the walk itself is filesystem-order independent.
+    """
+    rotated: list[tuple[int, Path]] = []
+    for candidate in sorted(active.parent.glob(active.name + ".*")):
+        suffix = candidate.name[len(active.name) + 1 :]
+        if suffix.isdigit():
+            rotated.append((int(suffix), candidate))
+    files = [file for _, file in sorted(rotated, reverse=True)]
+    if active.exists():
+        files.append(active)
+    return files
+
+
+def load_json(path: Path, *, what: str = "file") -> dict:
+    """Read a JSON document or exit 2 with a one-line diagnosis.
+
+    For inputs whose *absence or corruption* is a usage error (a missing
+    benchmark baseline, a mangled report), not a finding the checker
+    should count.
+    """
+    try:
+        with path.open(encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        sys.exit(f"error: {what} not found: {path}")
+    except json.JSONDecodeError as error:
+        sys.exit(f"error: {path} is not valid JSON: {error}")
+
+
+def report(
+    tool: str,
+    errors: list[str],
+    warnings: list[str] | None = None,
+    ok_label: str = "clean",
+) -> int:
+    """Print the shared errors/warnings epilogue; return the exit code.
+
+    One ``warning:`` line per warning, one ``error:`` line per error,
+    then a single summary line -- ``<tool>: OK (<ok_label>)`` or
+    ``<tool>: FAILED (N problem(s), <ok_label>)`` -- so CI logs from
+    every gate read the same way.  A custom ``ok_label`` usually carries
+    progress stats ("33 records across 4 file(s)") worth printing even
+    on failure; the default "clean" is suppressed there.
+    """
+    for warning in warnings or []:
+        print(f"warning: {warning}")
+    for error in errors:
+        print(f"error: {error}")
+    if errors:
+        detail = f", {ok_label}" if ok_label != "clean" else ""
+        print(f"{tool}: FAILED ({len(errors)} problem(s){detail})")
+        return 1
+    print(f"{tool}: OK ({ok_label})")
+    return 0

@@ -33,9 +33,14 @@ rewrites the file with only its own section).
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
+
+try:
+    from tools._common import load_json, report
+except ImportError:  # script context: `python tools/check_bench_regression.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _common import load_json, report
 
 #: (section, metric) pairs whose regression beyond the tolerance fails the
 #: build.  All are same-run ratios, immune to host-speed differences.
@@ -49,16 +54,6 @@ ADVISORY_ABSOLUTES = (
     ("columnar_datapath", "packets_per_second"),
     ("columnar_datapath", "scalar_packets_per_second"),
 )
-
-
-def load(path: Path) -> dict:
-    try:
-        with path.open(encoding="utf-8") as handle:
-            return json.load(handle)
-    except FileNotFoundError:
-        sys.exit(f"error: benchmark file not found: {path}")
-    except json.JSONDecodeError as error:
-        sys.exit(f"error: {path} is not valid JSON: {error}")
 
 
 def metric(document: dict, section: str, name: str):
@@ -80,8 +75,8 @@ def main(argv: list[str] | None = None) -> int:
                              "ratios before hard failure (default 0.30)")
     args = parser.parse_args(argv)
 
-    baseline = load(args.baseline)
-    current = load(args.current)
+    baseline = load_json(args.baseline, what="baseline benchmark file")
+    current = load_json(args.current, what="current benchmark file")
     failures = []
 
     print(f"baseline: {args.baseline}  (recorded {baseline.get('recorded_at', '?')}, "
@@ -122,14 +117,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"info  {label}: {now:,.0f} vs baseline {base:,.0f} "
               f"({delta:+.0%}, advisory -- host speeds differ)")
 
-    if failures:
-        print()
-        for failure in failures:
-            print(f"error: {failure}")
-        return 1
     print()
-    print("benchmark regression guard: clean")
-    return 0
+    return report("check_bench_regression", failures, ok_label="guarded ratios within tolerance")
 
 
 if __name__ == "__main__":

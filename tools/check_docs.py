@@ -23,7 +23,12 @@ import re
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+try:
+    from tools._common import REPO_ROOT, report
+except ImportError:  # script context: `python tools/check_docs.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _common import REPO_ROOT, report
+
 DOCS_DIR = REPO_ROOT / "docs"
 MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
 
@@ -107,14 +112,7 @@ def collect_errors() -> list[str]:
 
 
 def main() -> int:
-    errors = collect_errors()
-    for error in errors:
-        print(f"ERROR: {error}", file=sys.stderr)
-    if errors:
-        print(f"docs check failed: {len(errors)} problem(s)", file=sys.stderr)
-        return 1
-    print("docs check passed")
-    return 0
+    return report("check_docs", collect_errors(), ok_label="nav, links and anchors resolve")
 
 
 if __name__ == "__main__":

@@ -30,6 +30,12 @@ import json
 import sys
 from pathlib import Path
 
+try:
+    from tools._common import chain_files, report
+except ImportError:  # script context: `python tools/check_ledger.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _common import chain_files, report
+
 SCHEMA_VERSION = 1
 KINDS = {"verdict", "enforcement", "quarantine", "learn", "promotion", "push", "apply"}
 RECORD_KEYS = {
@@ -49,19 +55,6 @@ RECORD_KEYS = {
     "completion_reason",
     "detail",
 }
-
-
-def chain_files(active: Path) -> list[Path]:
-    """The ledger chain, oldest first (mirrors repro.obs.ledger.ledger_files)."""
-    rotated = []
-    for candidate in active.parent.glob(active.name + ".*"):
-        suffix = candidate.name[len(active.name) + 1 :]
-        if suffix.isdigit():
-            rotated.append((int(suffix), candidate))
-    files = [file for _, file in sorted(rotated, reverse=True)]
-    if active.exists():
-        files.append(active)
-    return files
 
 
 def check_record(payload: object, where: str, errors: list[str]) -> dict | None:
@@ -159,16 +152,13 @@ def main(argv: list[str]) -> int:
         return 2
     active = Path(argv[1])
     records, errors, warnings = check_ledger(active)
-    for warning in warnings:
-        print(f"warning: {warning}")
-    for error in errors:
-        print(f"error: {error}")
-    if errors:
-        print(f"check_ledger: FAILED ({len(errors)} problem(s), {records} valid records)")
-        return 1
     files = len(chain_files(active))
-    print(f"check_ledger: OK ({records} records across {files} file(s))")
-    return 0
+    return report(
+        "check_ledger",
+        errors,
+        warnings,
+        ok_label=f"{records} valid records across {files} file(s)",
+    )
 
 
 if __name__ == "__main__":

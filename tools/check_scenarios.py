@@ -43,6 +43,12 @@ import json
 import sys
 from pathlib import Path
 
+try:
+    from tools._common import chain_files, report
+except ImportError:  # script context: `python tools/check_scenarios.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _common import chain_files, report
+
 SCHEMA_VERSION = 1
 UNKNOWN = "unknown"
 PROVISIONAL_PREFIX = "unknown-model-"
@@ -81,19 +87,6 @@ def is_contract_file(path: Path) -> bool:
         or "ledger.ndjson" in path.name
         or (path.name.startswith("suite__seed-") and path.name.endswith(".json"))
     )
-
-
-def chain_files(active: Path) -> list[Path]:
-    """The ledger chain, oldest first (mirrors repro.obs.ledger.ledger_files)."""
-    rotated = []
-    for candidate in active.parent.glob(active.name + ".*"):
-        suffix = candidate.name[len(active.name) + 1 :]
-        if suffix.isdigit():
-            rotated.append((int(suffix), candidate))
-    files = [file for _, file in sorted(rotated, reverse=True)]
-    if active.exists():
-        files.append(active)
-    return files
 
 
 def read_ledger(active: Path, errors: list[str]) -> list[dict]:
@@ -312,13 +305,7 @@ def main(argv: list[str] | None = None) -> int:
             check_run(run_dir, errors)
         label = f"{len(runs)} run(s) validated"
 
-    for error in errors:
-        print(f"error: {error}")
-    if errors:
-        print(f"check_scenarios: FAILED ({len(errors)} problem(s), {label})")
-        return 1
-    print(f"check_scenarios: OK ({label})")
-    return 0
+    return report("check_scenarios", errors, ok_label=label)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,34 @@
+"""repro-lint: the project-specific determinism & invariant linter.
+
+The reproduction rests on invariants the paper never had to state --
+verdicts are bitwise-reproducible across processes and hash seeds, every
+artifact is byte-identical per seed, every ledger claim is backed by a
+typed evidence record.  The runtime suites prove those properties *after
+the fact*; this package turns them into AST-level rules that fail in
+review instead:
+
+* :mod:`tools.lint.engine` -- the driver: ``Rule`` base class, per-file
+  visitor dispatch, ``# repro-lint: disable=<rule> -- <reason>``
+  suppressions (a missing reason is itself a finding);
+* :mod:`tools.lint.config` -- which rules apply to which paths;
+* :mod:`tools.lint.rules` -- the rule catalogue (see
+  ``docs/development.md`` for the operator-facing reference);
+* :mod:`tools.lint.reporters` -- text and JSON output.
+
+Run it as ``python -m tools.lint src tools benchmarks``; exit status 0
+when clean, 1 with one line per finding otherwise.  Stdlib-only by
+design, like every gate under ``tools/``.
+"""
+
+from tools.lint.config import LintConfig
+from tools.lint.engine import Finding, Rule, lint_paths, lint_source
+from tools.lint.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,73 @@
+"""CLI entry point: ``python -m tools.lint [paths...]``.
+
+Exit status 0 when every scanned file is clean, 1 with one line per
+finding otherwise, 2 on usage errors -- the same contract as the other
+gates under ``tools/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.lint.config import LintConfig
+from tools.lint.engine import lint_paths
+from tools.lint.reporters import render_json, render_rule_list, render_text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="repro-lint: AST determinism & invariant linter",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tools", "benchmarks"],
+        help="files or directories to lint (default: src tools benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule reference (id, rationale, examples) and exit",
+    )
+    args = parser.parse_args(argv)
+
+    config = LintConfig.default()
+    if args.select:
+        try:
+            config = config.with_rules(
+                [part.strip() for part in args.select.split(",") if part.strip()]
+            )
+        except ValueError as error:
+            parser.error(str(error))
+
+    if args.list_rules:
+        print(render_rule_list(config.rules))
+        return 0
+
+    paths = [Path(path) for path in args.paths]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        parser.error(f"path(s) do not exist: {', '.join(str(path) for path in missing)}")
+
+    findings, files_scanned = lint_paths(paths, config)
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, files_scanned), end="" if args.format == "json" else "\n")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Which repro-lint rules apply where.
+
+Scopes are repo-relative path prefixes (posix form).  The defaults
+encode the repository's actual contract boundaries:
+
+* determinism rules bind the shipped package, benchmarks and examples
+  -- anything whose output a seed is supposed to pin;
+* the wall-clock ban exempts the benchmark harness (timing is its job)
+  and the simulation clock module (it *is* the clock abstraction);
+* artifact-canonicality binds every module that writes JSON to disk,
+  which in this tree means all of ``src``, ``tools`` and ``benchmarks``;
+* the ledger-kind rule exempts ``repro/obs/evidence.py`` itself -- the
+  one module allowed to spell the kind strings, because it declares the
+  constants everyone else must use.
+
+Tests are deliberately out of scope: they exercise bad inputs on
+purpose (unseeded generators, hostile JSON) and the suppression noise
+would drown the signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from tools.lint.engine import Rule
+
+
+@dataclass(frozen=True)
+class RuleScope:
+    """Path prefixes one rule binds (``include``) and exempts (``exclude``)."""
+
+    include: tuple[str, ...]
+    exclude: tuple[str, ...] = ()
+
+    def matches(self, path: str) -> bool:
+        return any(path.startswith(prefix) for prefix in self.include) and not any(
+            path.startswith(prefix) for prefix in self.exclude
+        )
+
+
+#: Modules whose callers are external: raising a builtin ``ValueError``
+#: here loses the typed :mod:`repro.exceptions` contract the facade
+#: documents.  Used by the exception-hygiene rule.
+PUBLIC_API_PREFIXES = (
+    "src/repro/api.py",
+    "src/repro/obs/",
+    "src/repro/fleet/",
+    "src/repro/streaming/",
+)
+
+_DEFAULT_SCOPES: dict[str, RuleScope] = {
+    "no-unseeded-rng": RuleScope(include=("src/", "benchmarks/", "examples/")),
+    "no-wallclock": RuleScope(
+        include=("src/",),
+        exclude=("src/repro/simulation/clock.py",),
+    ),
+    "canonical-artifact-json": RuleScope(include=("src/", "tools/", "benchmarks/")),
+    "sorted-fs-iteration": RuleScope(
+        include=("src/", "tools/", "benchmarks/", "examples/")
+    ),
+    "no-set-order-leak": RuleScope(include=("src/", "tools/", "benchmarks/")),
+    "ledger-kind-constants": RuleScope(
+        include=("src/",),
+        exclude=("src/repro/obs/evidence.py",),
+    ),
+    "exception-hygiene": RuleScope(
+        include=("src/", "tools/", "benchmarks/", "examples/")
+    ),
+    "export-sync": RuleScope(include=("src/",)),
+}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """The rule set and the per-rule path scopes the driver applies."""
+
+    rules: tuple[type["Rule"], ...]
+    scopes: Mapping[str, RuleScope] = field(default_factory=dict)
+
+    @classmethod
+    def default(cls) -> "LintConfig":
+        from tools.lint.rules import ALL_RULES
+
+        return cls(rules=tuple(ALL_RULES), scopes=dict(_DEFAULT_SCOPES))
+
+    def rules_for(self, path: str) -> list[type["Rule"]]:
+        """The rule classes whose scope covers one repo-relative path.
+
+        A rule with no configured scope applies everywhere -- new rules
+        fail open (maximal coverage) rather than silently not running.
+        """
+        applicable = []
+        for rule_cls in self.rules:
+            scope = self.scopes.get(rule_cls.rule_id)
+            if scope is None or scope.matches(path):
+                applicable.append(rule_cls)
+        return applicable
+
+    def with_rules(self, rule_ids: Sequence[str]) -> "LintConfig":
+        """A copy restricted to the named rules (the ``--select`` flag)."""
+        wanted = set(rule_ids)
+        unknown = wanted - {rule_cls.rule_id for rule_cls in self.rules}
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+        return LintConfig(
+            rules=tuple(r for r in self.rules if r.rule_id in wanted),
+            scopes=self.scopes,
+        )

@@ -1,0 +1,298 @@
+"""The repro-lint driver: rules, findings, suppressions, file walking.
+
+A :class:`Rule` is an :class:`ast.NodeVisitor` with identity metadata
+(id, rationale, a bad/good example pair for the docs) that reports
+:class:`Finding` objects through :meth:`Rule.report`.  The engine parses
+each file once, runs every rule whose configured scope covers the file,
+then drops findings answered by an inline suppression pragma::
+
+    os.write(fd, data)  # repro-lint: disable=<rule-id> -- <why it is fine>
+
+The reason after ``--`` is mandatory: a pragma without one does not
+suppress anything and instead raises a ``bad-suppression`` finding,
+which itself cannot be suppressed -- so every silenced rule in the tree
+carries a written justification, checkable by ``grep``.
+
+A pragma on its own line applies to the *next* source line (for call
+sites too long to share a line with a comment); a trailing pragma
+applies to its own line.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from tools.lint.config import LintConfig
+
+#: Rule id charset: short kebab-case slugs, e.g. ``no-unseeded-rng``.
+_RULE_ID_RE = re.compile(r"^[a-z][a-z0-9-]+$")
+
+#: The suppression pragma.  ``disable=`` takes a comma-separated rule
+#: list; everything after `` -- `` is the mandatory human reason.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[a-z0-9,\s-]+?)"
+    r"(?:\s+--\s*(?P<reason>.*))?$"
+)
+
+#: The engine's own rule id for malformed/reason-less pragmas.
+BAD_SUPPRESSION = "bad-suppression"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class Rule(ast.NodeVisitor):
+    """Base class of every repro-lint rule.
+
+    Subclasses set the class attributes below and implement ``visit_*``
+    methods calling :meth:`report`.  One rule instance is created per
+    (file, rule) pair, so instance state is per-file by construction.
+
+    Attributes:
+        rule_id: the kebab-case identifier used in reports, config
+            scopes and suppression pragmas.
+        rationale: one sentence for ``--list-rules`` and the docs --
+            *which repository invariant* the rule encodes.
+        example_bad: a minimal snippet the rule fires on.
+        example_good: the compliant rewrite of ``example_bad``.
+    """
+
+    rule_id: str = ""
+    rationale: str = ""
+    example_bad: str = ""
+    example_good: str = ""
+
+    def __init__(self, path: str, source: str):
+        if not _RULE_ID_RE.match(type(self).rule_id):
+            raise ValueError(f"{type(self).__name__}: invalid rule_id {type(self).rule_id!r}")
+        self.path = path
+        self.source = source
+        self.findings: list[Finding] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=type(self).rule_id,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        """Visit the tree; returns the findings collected on the way."""
+        self.visit(tree)
+        return self.findings
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``disable=`` pragma and the line range it covers."""
+
+    rules: tuple[str, ...]
+    reason: str
+    pragma_line: int
+    target_line: int
+
+
+@dataclass
+class SuppressionTable:
+    """Every pragma in one file, plus the findings they are missing reasons for."""
+
+    suppressions: list[Suppression] = field(default_factory=list)
+    malformed: list[tuple[int, str]] = field(default_factory=list)
+
+    def covers(self, finding: Finding) -> bool:
+        return any(
+            finding.line == entry.target_line and finding.rule in entry.rules
+            for entry in self.suppressions
+        )
+
+
+def _comment_tokens(source: str) -> list[tuple[int, str, bool]]:
+    """``(line, text, standalone)`` for every real comment token.
+
+    Tokenizing (rather than scanning lines) keeps pragma examples inside
+    docstrings and string literals inert.  Tokenization errors are
+    swallowed here -- the same file will fail ``ast.parse`` and surface
+    as a ``syntax-error`` finding.
+    """
+    comments: list[tuple[int, str, bool]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                standalone = token.line.strip().startswith("#")
+                comments.append((token.start[0], token.string, standalone))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+def parse_suppressions(source: str) -> SuppressionTable:
+    """Collect the suppression pragmas of one file from its comments.
+
+    A pragma whose line holds nothing else applies to the *next* line;
+    a trailing pragma applies to its own line.
+    """
+    table = SuppressionTable()
+    for index, comment, standalone in _comment_tokens(source):
+        if "repro-lint" not in comment:
+            continue
+        match = _PRAGMA_RE.search(comment)
+        if match is None:
+            # A comment mentioning repro-lint without the disable= form
+            # is prose, not a pragma; leave it alone unless it claims to
+            # be one (the "repro-lint:" prefix) and fails to parse.
+            if re.search(r"#\s*repro-lint:", comment):
+                table.malformed.append((index, "unparseable repro-lint pragma"))
+            continue
+        reason = (match.group("reason") or "").strip()
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        if not reason:
+            table.malformed.append(
+                (index, "suppression is missing its reason (use `disable=<rule> -- <why>`)")
+            )
+            continue
+        if not rules:
+            table.malformed.append((index, "suppression names no rules"))
+            continue
+        table.suppressions.append(
+            Suppression(
+                rules=rules,
+                reason=reason,
+                pragma_line=index,
+                target_line=index + 1 if standalone else index,
+            )
+        )
+    return table
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Iterable[type[Rule]],
+) -> list[Finding]:
+    """Run a set of rules over one file's source text.
+
+    Returns surviving findings: syntax errors come back as a single
+    ``syntax-error`` finding (a file the linter cannot parse cannot be
+    vetted, so it fails loudly), suppressed findings are dropped, and
+    malformed or reason-less pragmas are appended as ``bad-suppression``
+    findings that no pragma can silence.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                rule="syntax-error",
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    table = parse_suppressions(source)
+    findings: list[Finding] = []
+    for rule_cls in rules:
+        findings.extend(rule_cls(path, source).run(tree))
+    surviving = [finding for finding in findings if not table.covers(finding)]
+    surviving.extend(
+        Finding(rule=BAD_SUPPRESSION, path=path, line=line, col=1, message=message)
+        for line, message in table.malformed
+    )
+    return surviving
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Every ``*.py`` file under the given paths, sorted, caches excluded."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.add(path)
+        elif path.is_dir():
+            files.update(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+    return sorted(files)
+
+
+#: Top-level directories that anchor scope matching for files outside the
+#: repository (e.g. fixture trees under a pytest tmp_path).
+_SCOPE_ANCHORS = ("src", "tools", "benchmarks", "examples", "tests")
+
+
+def _scope_path(file: Path, root: Path) -> str:
+    """The repo-relative posix path scopes match against and reports print.
+
+    A file outside ``root`` (a fixture tree in a temp directory) is
+    anchored at its first recognised top-level component, so a
+    ``<tmp>/src/repro/bad.py`` fixture is scoped exactly like
+    ``src/repro/bad.py`` in the real tree.
+    """
+    resolved = file.resolve()
+    try:
+        return resolved.relative_to(root).as_posix()
+    except ValueError:
+        pass
+    parts = resolved.parts
+    for anchor in _SCOPE_ANCHORS:
+        if anchor in parts:
+            return "/".join(parts[parts.index(anchor):])
+    return file.as_posix()
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    config: "LintConfig",
+    root: Optional[Path] = None,
+) -> tuple[list[Finding], int]:
+    """Lint every python file under ``paths``; returns (findings, files scanned).
+
+    ``root`` anchors the repo-relative paths that scopes match against
+    and reports print; it defaults to the repository root so the tool
+    behaves identically from any working directory.
+    """
+    root = root if root is not None else Path(__file__).resolve().parent.parent.parent
+    findings: list[Finding] = []
+    files = iter_python_files(paths)
+    for file in files:
+        applicable = config.rules_for(_scope_path(file, root))
+        if not applicable:
+            continue
+        source = file.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, _scope_path(file, root), applicable))
+    findings.sort(key=lambda finding: (finding.path, finding.line, finding.col, finding.rule))
+    return findings, len(files)

@@ -1,0 +1,60 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from tools.lint.engine import Finding
+
+#: Schema version of the JSON report; bump on layout changes.
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(findings: list[Finding], files_scanned: int) -> str:
+    """One ``path:line:col: [rule] message`` line per finding + summary."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        by_rule: dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        breakdown = ", ".join(f"{rule}: {count}" for rule, count in sorted(by_rule.items()))
+        lines.append(
+            f"repro-lint: FAILED ({len(findings)} finding(s) across "
+            f"{files_scanned} file(s) -- {breakdown})"
+        )
+    else:
+        lines.append(f"repro-lint: OK ({files_scanned} file(s) clean)")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], files_scanned: int) -> str:
+    """The findings as a canonical JSON document (sorted keys, stable bytes)."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    document = {
+        "schema": REPORT_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "files_scanned": files_scanned,
+        "findings": [finding.to_dict() for finding in findings],
+        "counts": counts,
+    }
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def render_rule_list(rules: Iterable[type]) -> str:
+    """The ``--list-rules`` reference: id, rationale, example pair."""
+    blocks = []
+    for rule_cls in rules:
+        blocks.append(
+            "\n".join(
+                [
+                    rule_cls.rule_id,
+                    f"  {rule_cls.rationale}",
+                    f"  bad:  {rule_cls.example_bad}",
+                    f"  good: {rule_cls.example_good}",
+                ]
+            )
+        )
+    return "\n\n".join(blocks)

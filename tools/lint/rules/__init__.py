@@ -1,0 +1,46 @@
+"""The repro-lint rule catalogue.
+
+Grouped by the invariant family they encode:
+
+* :mod:`tools.lint.rules.determinism` -- entropy and wall-clock bans
+  (``no-unseeded-rng``, ``no-wallclock``);
+* :mod:`tools.lint.rules.artifacts` -- byte-stable artifact output
+  (``canonical-artifact-json``, ``sorted-fs-iteration``,
+  ``no-set-order-leak``);
+* :mod:`tools.lint.rules.hygiene` -- API contracts
+  (``ledger-kind-constants``, ``exception-hygiene``, ``export-sync``).
+
+``ALL_RULES`` is the shipped order; reports sort by location, so the
+order only affects ``--list-rules``.
+"""
+
+from tools.lint.rules.artifacts import (
+    CanonicalArtifactJson,
+    NoSetOrderLeak,
+    SortedFsIteration,
+)
+from tools.lint.rules.determinism import NoUnseededRng, NoWallclock
+from tools.lint.rules.hygiene import ExceptionHygiene, ExportSync, LedgerKindConstants
+
+ALL_RULES = (
+    NoUnseededRng,
+    NoWallclock,
+    CanonicalArtifactJson,
+    SortedFsIteration,
+    NoSetOrderLeak,
+    LedgerKindConstants,
+    ExceptionHygiene,
+    ExportSync,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "CanonicalArtifactJson",
+    "ExceptionHygiene",
+    "ExportSync",
+    "LedgerKindConstants",
+    "NoSetOrderLeak",
+    "NoUnseededRng",
+    "NoWallclock",
+    "SortedFsIteration",
+]

@@ -1,0 +1,66 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+
+def dotted_chain(node: ast.expr) -> Optional[list[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name expressions.
+
+    Only pure ``Name``/``Attribute`` chains resolve -- a chain hanging
+    off a call or subscript (``x().y``, ``d[k].z``) returns None, which
+    every caller treats as "not the pattern I am looking for".
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def build_parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    """Child-to-parent map for ancestry questions the visitor API can't answer."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def has_sorted_ancestor(
+    node: ast.AST, parents: dict[ast.AST, ast.AST], limit: int = 6
+) -> bool:
+    """True when the expression feeds a ``sorted(...)`` call within a few hops.
+
+    The hop limit keeps the question local: ``sorted(p.glob(x))`` and
+    ``sorted(f.name for f in p.iterdir())`` qualify; a sort happening
+    three statements later does not (and should be rewritten so the scan
+    site itself is visibly ordered).
+    """
+    current = node
+    for _ in range(limit):
+        parent = parents.get(current)
+        if parent is None or isinstance(parent, ast.stmt):
+            return False
+        if (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in ("sorted", "min", "max", "sum", "len", "set", "frozenset")
+        ):
+            # sorted() restores order; min/max/sum/len/set are
+            # order-insensitive consumers, so the scan cannot leak order.
+            return True
+        current = parent
+    return False
+
+
+def keyword_value(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None

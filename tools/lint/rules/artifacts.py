@@ -1,0 +1,182 @@
+"""Byte-stable artifact rules: canonical JSON, ordered filesystem walks,
+no set-order leaks.
+
+The scenario/ledger gates assert byte-identical artifacts per seed
+(``check_scenarios.py --compare``); these rules pin the three mundane
+ways a byte diff sneaks in -- JSON key order, directory scan order, and
+hash-order iteration of sets.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.lint.engine import Finding, Rule
+from tools.lint.rules._ast_util import (
+    build_parents,
+    dotted_chain,
+    has_sorted_ancestor,
+    keyword_value,
+)
+
+
+class CanonicalArtifactJson(Rule):
+    """``json.dump(s)`` must fix both key order and layout."""
+
+    rule_id = "canonical-artifact-json"
+    rationale = (
+        "Artifacts are compared byte-for-byte across runs and hash seeds; a "
+        "json.dump without sort_keys=True leaks dict insertion order, and "
+        "one without an explicit layout (separators= or indent=) changes "
+        "bytes when the default layout does."
+    )
+    example_bad = "path.write_text(json.dumps(document))"
+    example_good = 'path.write_text(json.dumps(document, sort_keys=True, separators=(",", ":")))'
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_chain(node.func)
+        if chain is not None and len(chain) == 2 and chain[0] == "json" and chain[1] in (
+            "dump",
+            "dumps",
+        ):
+            label = ".".join(chain)
+            sort_keys = keyword_value(node, "sort_keys")
+            if not (isinstance(sort_keys, ast.Constant) and sort_keys.value is True):
+                self.report(
+                    node,
+                    f"{label}() without sort_keys=True serialises dict "
+                    "insertion order; canonical artifacts sort keys",
+                )
+            elif keyword_value(node, "separators") is None and keyword_value(node, "indent") is None:
+                self.report(
+                    node,
+                    f"{label}() relies on the default layout; pass "
+                    'separators=(",", ":") (compact) or an explicit indent',
+                )
+        self.generic_visit(node)
+
+
+#: ``module.function`` filesystem scans whose result order is OS-defined.
+_FS_FUNCTION_CHAINS = {
+    ("os", "listdir"),
+    ("os", "scandir"),
+    ("glob", "glob"),
+    ("glob", "iglob"),
+}
+
+#: Method names that scan a directory on any receiver (``Path`` API).
+_FS_METHOD_NAMES = {"iterdir", "glob", "rglob"}
+
+
+class SortedFsIteration(Rule):
+    """Directory scans are OS-order; wrap them in ``sorted(...)`` at the scan site."""
+
+    rule_id = "sorted-fs-iteration"
+    rationale = (
+        "os.listdir / Path.iterdir / glob return filesystem order, which "
+        "differs between machines and even between runs; every scan that "
+        "feeds artifact content or processing order must be sorted where it "
+        "happens, so the ordering is visible at the call site."
+    )
+    example_bad = "for path in run_dir.iterdir():"
+    example_good = "for path in sorted(run_dir.iterdir()):"
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        self._parents = build_parents(tree)
+        return super().run(tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        label = None
+        chain = dotted_chain(node.func)
+        if chain is not None and len(chain) == 2 and tuple(chain) in _FS_FUNCTION_CHAINS:
+            label = ".".join(chain)
+        elif isinstance(node.func, ast.Attribute) and node.func.attr in _FS_METHOD_NAMES:
+            label = f"<path>.{node.func.attr}"
+        elif chain is not None and len(chain) == 2 and tuple(chain) == ("os", "walk"):
+            self.report(
+                node,
+                "os.walk yields OS-ordered dirnames/filenames; sort both "
+                "lists explicitly at the walk site",
+            )
+        if label is not None and not has_sorted_ancestor(node, self._parents):
+            self.report(
+                node,
+                f"{label}() result order is filesystem-defined; wrap the scan "
+                "in sorted(...) at the call site",
+            )
+        self.generic_visit(node)
+
+
+#: Builtins that materialise their argument's iteration order.
+_ORDER_MATERIALISERS = {"list", "tuple", "enumerate", "iter"}
+
+
+class NoSetOrderLeak(Rule):
+    """Iterating a set into ordered output leaks hash order."""
+
+    rule_id = "no-set-order-leak"
+    rationale = (
+        "Set iteration order depends on PYTHONHASHSEED and insertion "
+        "history; looping over a set (or list()-ing one) into any ordered "
+        "output breaks the cross-hash-seed determinism gate.  Membership "
+        "tests and set algebra are fine -- only iteration order leaks."
+    )
+    example_bad = "for mac in {r.mac for r in records}:"
+    example_good = "for mac in sorted({r.mac for r in records}):"
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        self._parents = build_parents(tree)
+        return super().run(tree)
+
+    def _is_set_expression(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+    def _flag(self, node: ast.expr, context: str) -> None:
+        if not has_sorted_ancestor(node, self._parents):
+            self.report(
+                node,
+                f"set iterated {context} leaks hash order; wrap it in "
+                "sorted(...) before iterating",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expression(node.iter):
+            self._flag(node.iter, "by a for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension_like(self, node: ast.AST) -> None:
+        for generator in node.generators:
+            if self._is_set_expression(generator.iter):
+                self._flag(generator.iter, "by a comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension_like
+    visit_GeneratorExp = _visit_comprehension_like
+    visit_DictComp = _visit_comprehension_like
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Iterating a set *into another set* cannot leak order.
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_MATERIALISERS
+            and node.args
+            and self._is_set_expression(node.args[0])
+        ):
+            self._flag(node.args[0], f"through {node.func.id}()")
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+            and self._is_set_expression(node.args[0])
+        ):
+            self._flag(node.args[0], "through str.join()")
+        self.generic_visit(node)

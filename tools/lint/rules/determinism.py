@@ -1,0 +1,163 @@
+"""Entropy and wall-clock rules: the bit-reproducibility invariants.
+
+PR 5 and PR 8 made verdict streams bitwise-identical across processes,
+restarts and ``PYTHONHASHSEED`` values; these rules keep the two classic
+ways of breaking that -- fresh OS entropy and the wall clock -- out of
+the shipped code paths.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.lint.engine import Rule
+from tools.lint.rules._ast_util import dotted_chain
+
+#: numpy.random attributes that are *types/constructors*, not draws from
+#: the legacy global generator -- calling these is not a determinism leak
+#: by itself (seeding is checked separately for ``default_rng``).
+_NP_RANDOM_NON_GLOBAL = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "RandomState",
+}
+
+#: stdlib ``random`` attributes that construct an object rather than draw
+#: from the hidden module-global generator.
+_STDLIB_RANDOM_CONSTRUCTORS = {"Random", "SystemRandom"}
+
+
+class NoUnseededRng(Rule):
+    """Every generator in shipped code must be constructed from an explicit seed."""
+
+    rule_id = "no-unseeded-rng"
+    rationale = (
+        "Verdicts and artifacts are bit-reproducible per seed; a generator "
+        "built from OS entropy (default_rng() with no seed, the stdlib or "
+        "numpy module-global draws, SystemRandom) silently breaks the "
+        "replay/determinism gates."
+    )
+    example_bad = "rng = np.random.default_rng()"
+    example_good = "rng = np.random.default_rng(derive_seed(seed, 'macs'))"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_chain(node.func)
+        if chain is not None:
+            self._check_chain(node, chain)
+        self.generic_visit(node)
+
+    def _check_chain(self, node: ast.Call, chain: list[str]) -> None:
+        name = chain[-1]
+        # default_rng() / np.random.default_rng() / numpy.random.default_rng()
+        if name == "default_rng":
+            if not node.args and not node.keywords:
+                self.report(
+                    node,
+                    "default_rng() without a seed draws OS entropy; pass an "
+                    "explicit seed (or a derived one) so the stream replays",
+                )
+            return
+        if len(chain) >= 2 and chain[-2] == "random":
+            if len(chain) == 2 and chain[0] == "random":
+                # stdlib random module: module-global draws are seeded (if at
+                # all) by distant code; constructors need an explicit seed.
+                if name in _STDLIB_RANDOM_CONSTRUCTORS:
+                    if name == "SystemRandom":
+                        self.report(
+                            node,
+                            "random.SystemRandom draws OS entropy and can never "
+                            "be made reproducible",
+                        )
+                    elif not node.args:
+                        self.report(
+                            node,
+                            "random.Random() without a seed draws OS entropy; "
+                            "pass an explicit seed",
+                        )
+                else:
+                    self.report(
+                        node,
+                        f"random.{name}() draws from the hidden module-global "
+                        "generator; use an explicitly seeded random.Random or "
+                        "numpy Generator instead",
+                    )
+            elif name not in _NP_RANDOM_NON_GLOBAL:
+                # np.random.<draw> / numpy.random.<draw>: the legacy global
+                # RandomState, shared mutable process state.
+                self.report(
+                    node,
+                    f"{'.'.join(chain)}() draws from numpy's legacy global "
+                    "generator; construct np.random.default_rng(seed) and draw "
+                    "from it",
+                )
+
+
+#: Wall-clock reads that are banned outright in ``src/``.
+_BANNED_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+}
+
+#: Wall-clock reads that are banned when called with no explicit instant.
+_BANNED_NOARG_CALLS = {
+    ("time", "localtime"),
+    ("time", "gmtime"),
+    ("time", "ctime"),
+}
+
+#: ``datetime``-style constructors of "now"; matched on the trailing two
+#: chain elements so both ``datetime.now()`` (class imported) and
+#: ``datetime.datetime.now()`` (module imported) are caught.
+_BANNED_TAILS = {
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+
+class NoWallclock(Rule):
+    """Shipped code computes with stream time, never the wall clock."""
+
+    rule_id = "no-wallclock"
+    rationale = (
+        "Evidence records and scenario artifacts are byte-identical per seed "
+        "because every timestamp is stream time (packet clocks) or a seeded "
+        "simulation clock; one time.time()/datetime.now() makes artifacts "
+        "differ between two otherwise identical runs.  Duration measurement "
+        "belongs to time.perf_counter(), which is allowed."
+    )
+    example_bad = "record = {'at': time.time()}"
+    example_good = "record = {'at': packet.timestamp}  # stream time"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_chain(node.func)
+        if chain is not None and len(chain) >= 2:
+            tail = (chain[-2], chain[-1])
+            label = ".".join(chain)
+            if tail in _BANNED_CALLS:
+                self.report(
+                    node,
+                    f"{label}() reads the wall clock; use stream time or the "
+                    "simulation clock (perf_counter is fine for durations)",
+                )
+            elif tail in _BANNED_NOARG_CALLS and not node.args:
+                self.report(
+                    node,
+                    f"{label}() with no argument reads the wall clock; pass an "
+                    "explicit instant or use stream time",
+                )
+            elif tail in _BANNED_TAILS:
+                self.report(
+                    node,
+                    f"{label}() reads the wall clock; artifacts stamped with it "
+                    "cannot be byte-identical across runs",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,210 @@
+"""API-contract rules: ledger vocabulary, exception discipline, export sync.
+
+These encode contracts that are documented but were previously only
+enforced by review: evidence-record kinds come from the declared
+constants, errors cross the public boundary as typed
+:mod:`repro.exceptions`, and a module's ``__all__`` tells the truth.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.lint.config import PUBLIC_API_PREFIXES
+from tools.lint.engine import Rule
+from tools.lint.rules._ast_util import dotted_chain
+
+
+class LedgerKindConstants(Rule):
+    """EvidenceRecord kinds are spelled once, in ``repro.obs.evidence``."""
+
+    rule_id = "ledger-kind-constants"
+    rationale = (
+        "The evidence schema rejects unknown kinds at decode time; a typo'd "
+        "kind string at a construction site becomes a runtime LedgerError in "
+        "the serving path.  Constructing records with the KIND_* constants "
+        "turns that into an import-time NameError instead."
+    )
+    example_bad = 'EvidenceRecord(kind="verdict", ...)'
+    example_good = "EvidenceRecord(kind=KIND_VERDICT, ...)"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_chain(node.func)
+        if chain is not None and chain[-1] == "EvidenceRecord":
+            kind = None
+            if node.args:
+                kind = node.args[0]
+            for keyword in node.keywords:
+                if keyword.arg == "kind":
+                    kind = keyword.value
+            if isinstance(kind, ast.Constant) and isinstance(kind.value, str):
+                self.report(
+                    node,
+                    f"EvidenceRecord kind={kind.value!r} spelled as a string "
+                    "literal; use the KIND_* constants from repro.obs.evidence",
+                )
+        self.generic_visit(node)
+
+
+#: Builtin exception types a public-API module must not raise directly --
+#: callers of the facade catch :class:`repro.exceptions.ReproError`.
+_BUILTIN_RAISES = {"ValueError", "TypeError", "KeyError", "RuntimeError", "IndexError"}
+
+
+class ExceptionHygiene(Rule):
+    """No bare excepts, no swallow-alls, typed errors at the public boundary."""
+
+    rule_id = "exception-hygiene"
+    rationale = (
+        "A bare except (or an except-Exception-pass) hides the determinism "
+        "and ledger errors the gates exist to surface; and the public facade "
+        "documents typed repro.exceptions, so raising builtin ValueError "
+        "there breaks the caller's advertised catch contract."
+    )
+    example_bad = "except:\n    pass"
+    example_good = "except LedgerError as error:\n    raise ConfigError(...) from error"
+
+    def __init__(self, path: str, source: str):
+        super().__init__(path, source)
+        self._public_api = any(path.startswith(prefix) for prefix in PUBLIC_API_PREFIXES)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare `except:` catches SystemExit/KeyboardInterrupt too; "
+                "name the exception types",
+            )
+        else:
+            chain = dotted_chain(node.type)
+            swallows = (
+                chain is not None
+                and chain[-1] in ("Exception", "BaseException")
+                and len(node.body) == 1
+                and isinstance(node.body[0], ast.Pass)
+            )
+            if swallows:
+                self.report(
+                    node,
+                    f"`except {'.'.join(chain)}: pass` silently swallows every "
+                    "error; handle or narrow it",
+                )
+        self.generic_visit(node)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        target = node.exc
+        if isinstance(target, ast.Call):
+            target = target.func
+        chain = dotted_chain(target) if target is not None else None
+        if chain is not None:
+            name = chain[-1]
+            if name in ("Exception", "BaseException"):
+                self.report(
+                    node,
+                    f"raising bare {name} is uncatchable-by-type; raise a "
+                    "repro.exceptions subclass",
+                )
+            elif self._public_api and name in _BUILTIN_RAISES:
+                self.report(
+                    node,
+                    f"public-API module raises builtin {name}; raise the "
+                    "matching repro.exceptions type so callers can catch "
+                    "ReproError",
+                )
+        self.generic_visit(node)
+
+
+class ExportSync(Rule):
+    """``__all__`` must agree with what the module actually binds."""
+
+    rule_id = "export-sync"
+    rationale = (
+        "A name in __all__ that the module never binds breaks "
+        "`from package import *` and lies to readers; a public name a "
+        "package __init__ imports but omits from __all__ is an accidental, "
+        "undeclared re-export that drifts out of the documented API."
+    )
+    example_bad = '__all__ = ["Gone"]  # Gone is never imported or defined'
+    example_good = 'from repro.obs.evidence import KIND_PUSH\n__all__ = ["KIND_PUSH"]'
+
+    def visit_Module(self, node: ast.Module) -> None:
+        bound: set[str] = set()
+        from_imported: list[tuple[str, ast.stmt]] = []
+        declared: dict[str, ast.stmt] = {}
+        duplicates: list[tuple[str, ast.stmt]] = []
+        all_nodes: list[ast.stmt] = []
+
+        def collect(statements: list[ast.stmt]) -> None:
+            for statement in statements:
+                if isinstance(statement, ast.Import):
+                    for alias in statement.names:
+                        bound.add(alias.asname or alias.name.split(".")[0])
+                elif isinstance(statement, ast.ImportFrom):
+                    for alias in statement.names:
+                        if alias.name == "*":
+                            continue
+                        name = alias.asname or alias.name
+                        bound.add(name)
+                        from_imported.append((name, statement))
+                elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    bound.add(statement.name)
+                elif isinstance(statement, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    targets = (
+                        statement.targets
+                        if isinstance(statement, ast.Assign)
+                        else [statement.target]
+                    )
+                    for target in targets:
+                        for element in ast.walk(target):
+                            if isinstance(element, ast.Name):
+                                bound.add(element.id)
+                                if element.id == "__all__":
+                                    all_nodes.append(statement)
+                elif isinstance(statement, ast.If):
+                    # TYPE_CHECKING blocks and version guards bind names too.
+                    collect(statement.body)
+                    collect(statement.orelse)
+                elif isinstance(statement, ast.Try):
+                    collect(statement.body)
+                    collect(statement.orelse)
+                    for handler in statement.handlers:
+                        collect(handler.body)
+
+        collect(node.body)
+
+        for statement in all_nodes:
+            value = statement.value
+            if not isinstance(value, (ast.List, ast.Tuple)):
+                continue
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    if element.value in declared:
+                        duplicates.append((element.value, statement))
+                    else:
+                        declared[element.value] = statement
+
+        if not all_nodes:
+            return
+        for name, statement in sorted(declared.items()):
+            if name not in bound:
+                self.report(
+                    statement,
+                    f"__all__ lists {name!r} but the module never binds it",
+                )
+        for name, statement in duplicates:
+            self.report(statement, f"__all__ lists {name!r} twice")
+        if self.path.endswith("__init__.py"):
+            missing = sorted(
+                {
+                    name
+                    for name, _ in from_imported
+                    if not name.startswith("_") and name not in declared
+                }
+            )
+            for name in missing:
+                statement = next(stmt for n, stmt in from_imported if n == name)
+                self.report(
+                    statement,
+                    f"package __init__ imports {name!r} but __all__ does not "
+                    "declare it (accidental re-export)",
+                )
